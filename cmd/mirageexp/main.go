@@ -1,0 +1,89 @@
+// Command mirageexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mirageexp [-scale quick|full] [-only "Figure 7,Figure 8"]
+//
+// Each experiment prints a text table whose rows correspond to the figure's
+// series; EXPERIMENTS.md records a reference run next to the paper's
+// numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	onlyFlag := flag.String("only", "", "comma-separated experiment IDs to run (default all)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.QuickScale
+	case "full":
+		scale = experiments.FullScale
+	default:
+		fmt.Fprintf(os.Stderr, "mirageexp: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	only := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			only[strings.TrimSpace(id)] = true
+		}
+	}
+
+	type exp struct {
+		id  string
+		run func() (*experiments.Report, error)
+	}
+	all := []exp{
+		{"Table 1", func() (*experiments.Report, error) { return experiments.Table1(scale) }},
+		{"Table 2", func() (*experiments.Report, error) { return experiments.Table2(), nil }},
+		{"Figure 1", func() (*experiments.Report, error) { return experiments.Figure1(scale) }},
+		{"Figure 2", func() (*experiments.Report, error) { return experiments.Figure2(scale) }},
+		{"Figure 3b", func() (*experiments.Report, error) { return experiments.Figure3b(scale) }},
+		{"Figure 5", func() (*experiments.Report, error) { return experiments.Figure5(scale) }},
+		{"Figure 6", func() (*experiments.Report, error) { return experiments.Figure6(scale), nil }},
+		{"Figure 7", func() (*experiments.Report, error) { return experiments.Figure7(scale) }},
+		{"Figure 8", func() (*experiments.Report, error) { return experiments.Figure8(scale) }},
+		{"Figure 9a", func() (*experiments.Report, error) { return experiments.Figure9a() }},
+		{"Figure 9b", func() (*experiments.Report, error) { return experiments.Figure9b(scale) }},
+		{"Figure 10", func() (*experiments.Report, error) { return experiments.Figure10(scale) }},
+		{"Figure 11", func() (*experiments.Report, error) { return experiments.Figure11(scale) }},
+		{"Figure 12", func() (*experiments.Report, error) { return experiments.Figure12(scale) }},
+		{"Figure 13", func() (*experiments.Report, error) { return experiments.Figure13(scale) }},
+		{"Figure 14", func() (*experiments.Report, error) { return experiments.Figure14(scale) }},
+		{"Figure 15", func() (*experiments.Report, error) { return experiments.Figure15(scale) }},
+		{"SC size", func() (*experiments.Report, error) { return experiments.SCSize(scale) }},
+		{"Headline", func() (*experiments.Report, error) { return experiments.Headline(scale) }},
+	}
+
+	failed := 0
+	for _, e := range all {
+		if len(only) > 0 && !only[e.id] {
+			continue
+		}
+		start := time.Now()
+		rep, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mirageexp: %s failed: %v\n", e.id, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s took %.1fs)\n\n", e.id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

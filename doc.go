@@ -1,0 +1,12 @@
+// Package repro is a pure-Go reproduction of "Mirage Cores: The Illusion of
+// Many Out-of-order Cores Using In-order Hardware" (MICRO-50, 2017).
+//
+// The library lives under internal/ (see internal/core for the public entry
+// points), the executables under cmd/, and runnable examples under
+// examples/. This root package carries the repository-wide benchmark
+// harness: one testing.B benchmark per table and figure of the paper's
+// evaluation plus ablation sweeps — run `go test -bench=. -benchmem`.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitution rationale, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

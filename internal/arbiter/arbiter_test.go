@@ -1,0 +1,184 @@
+package arbiter
+
+import "testing"
+
+// mkState builds a baseline app state that is content on its InO core.
+func mkState(i int) AppState {
+	return AppState{
+		Index:             i,
+		IPCInO:            1.5,
+		IPCOoO:            2.0,
+		SCMPKIInO:         0.5,
+		SCMPKIOoO:         0.5,
+		HaveOoOStats:      true,
+		IntervalsSinceOoO: 20,
+		Util:              0.2,
+	}
+}
+
+func states(n int) []AppState {
+	out := make([]AppState, n)
+	for i := range out {
+		out[i] = mkState(i)
+	}
+	return out
+}
+
+func TestSCMPKIPowersDownWhenNothingToDo(t *testing.T) {
+	a := NewSCMPKI()
+	if got := a.Decide(states(4), 0); got != None {
+		t.Errorf("contented apps should power the OoO down, picked %d", got)
+	}
+}
+
+func TestSCMPKIPicksHighestDelta(t *testing.T) {
+	a := NewSCMPKI()
+	ss := states(4)
+	ss[2].SCMPKIInO = 8 // phase change: SC gone stale
+	ss[1].SCMPKIInO = 3
+	if got := a.Decide(ss, 0); got != 2 {
+		t.Errorf("picked %d, want the app with the largest ΔSC-MPKI (2)", got)
+	}
+}
+
+func TestSCMPKIAvoidsInherentlyUnmemoizable(t *testing.T) {
+	a := NewSCMPKI()
+	ss := states(3)
+	// astar-style: misses everywhere — on the InO *and* on the OoO. The
+	// ratio form of Eq 1 keeps Δ small.
+	ss[1].SCMPKIInO = 12
+	ss[1].SCMPKIOoO = 11
+	if got := a.Decide(ss, 0); got != None {
+		t.Errorf("unmemoizable app scheduled on the OoO (picked %d)", got)
+	}
+}
+
+func TestSCMPKIDecayDampsPingPong(t *testing.T) {
+	a := NewSCMPKI()
+	ss := states(2)
+	// Both stale, but app 0 just came back from the OoO (gcc-style).
+	ss[0].SCMPKIInO = 6
+	ss[0].IntervalsSinceOoO = 0
+	ss[1].SCMPKIInO = 4
+	ss[1].IntervalsSinceOoO = 30
+	if got := a.Decide(ss, 0); got != 1 {
+		t.Errorf("picked %d; the decay factor should prefer the long-idle app", got)
+	}
+	// An app that just left the OoO must never bounce straight back.
+	solo := states(1)
+	solo[0].SCMPKIInO = 50
+	solo[0].IntervalsSinceOoO = 0
+	if got := a.Decide(solo, 0); got != None {
+		t.Errorf("zero-age app re-migrated immediately (picked %d)", got)
+	}
+}
+
+func TestSCMPKIBootstrapsUnknownApps(t *testing.T) {
+	a := NewSCMPKI()
+	ss := states(2)
+	ss[1].HaveOoOStats = false
+	ss[1].SCMPKIInO = 5 // missing everywhere, never measured on OoO
+	if got := a.Decide(ss, 0); got != 1 {
+		t.Errorf("picked %d, want unmeasured app 1", got)
+	}
+}
+
+func TestMaxSTPPicksWorstSlowdown(t *testing.T) {
+	a := NewMaxSTP()
+	ss := states(4)
+	ss[3].IPCInO = 0.4 // hmmer-style: terrible on the InO
+	if got := a.Decide(ss, 0); got != 3 {
+		t.Errorf("picked %d, want worst-speedup app 3", got)
+	}
+}
+
+func TestMaxSTPNeverPowersDown(t *testing.T) {
+	a := NewMaxSTP()
+	for i := 0; i < 10; i++ {
+		if got := a.Decide(states(4), i); got == None {
+			t.Fatal("maxSTP powered the OoO down")
+		}
+	}
+}
+
+func TestMaxSTPForcedSampling(t *testing.T) {
+	a := NewMaxSTP()
+	ss := states(4)
+	ss[0].IPCInO = 0.4 // the usual pick
+	ss[2].IntervalsSinceOoO = a.SampleEvery + 10
+	if got := a.Decide(ss, 0); got != 2 {
+		t.Errorf("picked %d, want force-sampled stale app 2", got)
+	}
+}
+
+func TestMaxSTPSamplesNeverMeasuredFirst(t *testing.T) {
+	a := NewMaxSTP()
+	ss := states(3)
+	ss[1].HaveOoOStats = false
+	ss[1].IPCOoO = 0
+	if got := a.Decide(ss, 0); got != 1 {
+		t.Errorf("picked %d, want never-sampled app 1", got)
+	}
+}
+
+func TestFairRoundRobin(t *testing.T) {
+	a := NewFair()
+	ss := states(3)
+	for i := 0; i < 9; i++ {
+		if got := a.Decide(ss, i); got != i%3 {
+			t.Errorf("interval %d picked %d, want %d", i, got, i%3)
+		}
+	}
+	if got := a.Decide(nil, 0); got != None {
+		t.Error("empty app list should pick none")
+	}
+}
+
+func TestSCMPKIFairGrantsBelowShare(t *testing.T) {
+	a := NewSCMPKIFair()
+	ss := states(4)
+	ss[1].Util = 0.05 // far below 1/4 share
+	if got := a.Decide(ss, 1); got != 1 {
+		t.Errorf("picked %d, want under-served app 1 at its turn", got)
+	}
+}
+
+func TestSCMPKIFairSkipsSatisfiedApps(t *testing.T) {
+	a := NewSCMPKIFair()
+	ss := states(4)
+	// Candidate app 2 meets its share through memoization credit and its
+	// SC is fresh: skip and power down (Section 5.3's energy point).
+	ss[2].Util = 0.5
+	ss[2].SCMPKIInO = 0.3
+	if got := a.Decide(ss, 2); got != None {
+		t.Errorf("picked %d, want OoO powered down for a satisfied candidate", got)
+	}
+}
+
+func TestSCMPKIFairStalenessEscapeHatch(t *testing.T) {
+	a := NewSCMPKIFair()
+	ss := states(4)
+	ss[2].Util = 0.5
+	ss[2].SCMPKIInO = 10 // SC went stale: migrate despite met share
+	if got := a.Decide(ss, 2); got != 2 {
+		t.Errorf("picked %d, want stale candidate 2", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, a := range []Arbiter{NewSCMPKI(), NewMaxSTP(), NewSCMPKIMaxSTP(), NewFair(), NewSCMPKIFair()} {
+		if a.Name() == "" {
+			t.Errorf("%T has no name", a)
+		}
+	}
+}
+
+func TestDeltaSCMPKIDenominatorFloor(t *testing.T) {
+	a := mkState(0)
+	a.SCMPKIOoO = 0 // perfectly memoizable phase
+	a.SCMPKIInO = 1
+	d := deltaSCMPKI(a)
+	if d <= 0 || d > 1000 {
+		t.Errorf("Δ with zero denominator = %v, want positive and finite", d)
+	}
+}

@@ -1,0 +1,47 @@
+// Software arbitration (Section 3.2.4): the same policies, but run in the
+// OS layer rather than in hardware. The OS only sees counters at timeslice
+// granularity (~10ms, i.e. many hardware intervals), so decisions are
+// re-evaluated far less often — and the paper predicts lower effectiveness
+// because memoizability decays sharply at coarse intervals (Section 2.3).
+
+package arbiter
+
+// Software wraps a hardware policy and re-evaluates it only every
+// PollEvery intervals, holding the previous decision in between — the
+// OS-timeslice analogue of the hardware arbitrator.
+type Software struct {
+	Inner Arbiter
+	// PollEvery is how many hardware intervals one OS timeslice spans.
+	PollEvery int
+
+	last int
+	held bool
+}
+
+// NewSoftware wraps inner with an OS-timeslice polling period.
+func NewSoftware(inner Arbiter, pollEvery int) *Software {
+	if pollEvery < 1 {
+		pollEvery = 1
+	}
+	return &Software{Inner: inner, PollEvery: pollEvery, last: None}
+}
+
+// Name implements Arbiter.
+func (s *Software) Name() string { return "software(" + s.Inner.Name() + ")" }
+
+// Decide implements Arbiter.
+func (s *Software) Decide(apps []AppState, interval int) int {
+	if s.held && interval%s.PollEvery != 0 {
+		// Between timeslices the OS cannot react; keep the assignment if
+		// the app still exists.
+		for _, a := range apps {
+			if a.Index == s.last {
+				return s.last
+			}
+		}
+		return None
+	}
+	s.last = s.Inner.Decide(apps, interval)
+	s.held = true
+	return s.last
+}

@@ -1,0 +1,68 @@
+package arbiter
+
+import "testing"
+
+func TestSoftwareHoldsBetweenTimeslices(t *testing.T) {
+	inner := NewFair()
+	sw := NewSoftware(inner, 5)
+	ss := states(3)
+	first := sw.Decide(ss, 0)
+	for i := 1; i < 5; i++ {
+		if got := sw.Decide(ss, i); got != first {
+			t.Errorf("interval %d re-decided to %d while holding %d", i, got, first)
+		}
+	}
+	// At the timeslice boundary the inner policy runs again (Fair has
+	// rotated to interval 5 % 3 = 2).
+	if got := sw.Decide(ss, 5); got != 2 {
+		t.Errorf("timeslice boundary picked %d, want 2", got)
+	}
+}
+
+func TestSoftwareDropsVanishedApp(t *testing.T) {
+	sw := NewSoftware(NewFair(), 10)
+	ss := states(3)
+	sw.Decide(ss, 0) // holds app 0
+	// App 0 disappears from the snapshot (e.g. filtered by a multi-OoO
+	// picker); the holder must not return a dangling index.
+	if got := sw.Decide(ss[1:], 3); got != None {
+		t.Errorf("held a vanished app: %d", got)
+	}
+}
+
+func TestSoftwarePollClamp(t *testing.T) {
+	sw := NewSoftware(NewFair(), 0)
+	if sw.PollEvery != 1 {
+		t.Errorf("poll period %d, want clamped to 1", sw.PollEvery)
+	}
+}
+
+func TestSoftwareName(t *testing.T) {
+	if got := NewSoftware(NewSCMPKI(), 4).Name(); got != "software(SC-MPKI)" {
+		t.Errorf("name %q", got)
+	}
+}
+
+// TestSoftwareLessReactive: against a scenario where staleness appears
+// mid-timeslice, the software arbitrator reacts one timeslice late — the
+// Section 3.2.4 prediction that OS-granularity arbitration is weaker.
+func TestSoftwareLessReactive(t *testing.T) {
+	hw := NewSCMPKI()
+	sw := NewSoftware(NewSCMPKI(), 8)
+	ss := states(4)
+	// Nothing to do at interval 0: both power down (software holds None).
+	if hw.Decide(ss, 0) != None || sw.Decide(ss, 0) != None {
+		t.Fatal("expected both arbitrators to gate the OoO initially")
+	}
+	// A phase change at interval 3 spikes app 1's ΔSC-MPKI.
+	ss[1].SCMPKIInO = 10
+	if got := hw.Decide(ss, 3); got != 1 {
+		t.Fatalf("hardware arbitrator missed the spike (picked %d)", got)
+	}
+	if got := sw.Decide(ss, 3); got != None {
+		t.Errorf("software arbitrator reacted mid-timeslice (picked %d)", got)
+	}
+	if got := sw.Decide(ss, 8); got != 1 {
+		t.Errorf("software arbitrator missed the spike at its timeslice (picked %d)", got)
+	}
+}

@@ -1,0 +1,113 @@
+package branch
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := NewPredictor(12)
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !p.Predict(0x400, true) && i > 10 {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("always-taken branch mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestAlternatingPatternLearned(t *testing.T) {
+	p := NewPredictor(12)
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		if !p.Predict(0x800, taken) && i > 200 {
+			wrong++
+		}
+	}
+	if rate := float64(wrong) / 1800; rate > 0.05 {
+		t.Errorf("gshare failed to learn T/NT pattern: %.2f mispredict rate", rate)
+	}
+}
+
+func TestLongPatternLearned(t *testing.T) {
+	p := NewPredictor(12)
+	pattern := []bool{true, true, false, true, false, false, true, true}
+	wrong := 0
+	for i := 0; i < 4000; i++ {
+		taken := pattern[i%len(pattern)]
+		if !p.Predict(0xc00, taken) && i > 1000 {
+			wrong++
+		}
+	}
+	if rate := float64(wrong) / 3000; rate > 0.05 {
+		t.Errorf("period-8 pattern mispredict rate %.2f", rate)
+	}
+}
+
+func TestResetClearsHistory(t *testing.T) {
+	p := NewPredictor(10)
+	for i := 0; i < 500; i++ {
+		p.Predict(0x100, false)
+	}
+	p.Reset()
+	// After reset the initial state is weakly-taken: a not-taken branch
+	// should mispredict again at first.
+	if p.Predict(0x100, false) {
+		t.Error("predictor retained not-taken bias through Reset")
+	}
+}
+
+func TestBadHistoryBitsDefaulted(t *testing.T) {
+	p := NewPredictor(0)
+	if len(p.gshare) != 1<<12 {
+		t.Errorf("default table size %d, want 4096", len(p.gshare))
+	}
+	p = NewPredictor(30)
+	if len(p.gshare) != 1<<12 {
+		t.Errorf("oversized tables not clamped: %d", len(p.gshare))
+	}
+}
+
+func TestMeasureMispredictRateOrdering(t *testing.T) {
+	rng := xrand.NewString("branch-test")
+	predictable := MeasureMispredictRate(Behaviour{TakenBias: 0.9, Entropy: 0.02, PatternLen: 8}, 0x10, rng.Fork("a"))
+	moderate := MeasureMispredictRate(Behaviour{TakenBias: 0.7, Entropy: 0.2, PatternLen: 12}, 0x10, rng.Fork("b"))
+	chaotic := MeasureMispredictRate(Behaviour{TakenBias: 0.5, Entropy: 0.9, PatternLen: 16}, 0x10, rng.Fork("c"))
+	t.Logf("mispredict rates: predictable=%.3f moderate=%.3f chaotic=%.3f", predictable, moderate, chaotic)
+	if !(predictable < moderate && moderate < chaotic) {
+		t.Errorf("rates not ordered by entropy: %.3f %.3f %.3f", predictable, moderate, chaotic)
+	}
+	if predictable > 0.05 {
+		t.Errorf("low-entropy behaviour mispredicts at %.3f", predictable)
+	}
+	if chaotic < 0.2 {
+		t.Errorf("high-entropy behaviour mispredicts at only %.3f", chaotic)
+	}
+}
+
+func TestMeasureMispredictRateBounds(t *testing.T) {
+	rng := xrand.NewString("bounds")
+	for _, b := range []Behaviour{
+		{TakenBias: 0, Entropy: 0},
+		{TakenBias: 1, Entropy: 1},
+		{TakenBias: 0.5, Entropy: 0.5, PatternLen: 0}, // PatternLen defaulted
+	} {
+		r := MeasureMispredictRate(b, 0x20, rng.Fork("x"))
+		if r < 0 || r > 1 {
+			t.Errorf("rate %v out of [0,1] for %+v", r, b)
+		}
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	b := Behaviour{TakenBias: 0.7, Entropy: 0.3, PatternLen: 8}
+	r1 := MeasureMispredictRate(b, 0x30, xrand.New(9))
+	r2 := MeasureMispredictRate(b, 0x30, xrand.New(9))
+	if r1 != r2 {
+		t.Errorf("measurement not deterministic: %v vs %v", r1, r2)
+	}
+}

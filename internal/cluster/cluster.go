@@ -1,0 +1,906 @@
+// Package cluster simulates a Mirage Cores cluster (Figure 4): n InO cores
+// around one producer OoO, all sharing a coherent bus to the L2 level. The
+// simulation is interval-driven: every application runs on its current core
+// for one arbitration interval, counters are collected, the arbitrator
+// decides who occupies the OoO next, and migrations pay their pipeline,
+// L1-warmup and Schedule-Cache-transfer costs over the bus.
+//
+// The same machinery also models the paper's baselines: a homogeneous OoO
+// CMP, a homogeneous InO CMP, and a traditional (non-memoizing) Het-CMP.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/energy"
+	"repro/internal/ino"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/program"
+	"repro/internal/schedcache"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Config describes one cluster run.
+type Config struct {
+	// Apps are the benchmarks to run, one per InO core (or per OoO core in
+	// an all-OoO configuration).
+	Apps []*program.Benchmark
+
+	// HasOoO adds the producer OoO core.
+	HasOoO bool
+	// NumOoO is the number of OoO cores (default 1). More than one is only
+	// supported on traditional (non-memoizing) Het-CMPs — Kumar-style
+	// configurations like the 5:3 CMP of Figure 14. Mirage keeps a single
+	// schedule producer per cluster.
+	NumOoO int
+	// AllOoO runs every application on a private OoO core (the Homo-OoO
+	// baseline); HasOoO/Memoize are ignored.
+	AllOoO bool
+	// Memoize enables the Mirage machinery (OinO mode + Schedule Caches);
+	// false models a traditional Het-CMP.
+	Memoize bool
+
+	// Arbiter decides OoO occupancy each interval (nil: OoO stays idle).
+	Arbiter arbiter.Arbiter
+
+	// IntervalCycles is the arbitration interval (the paper's 1M cycles;
+	// scaled down by default to keep runs fast — see DESIGN.md §2).
+	IntervalCycles int64
+	// TargetInsts is the per-application instruction budget; applications
+	// finishing early restart until all complete (Section 4.1).
+	TargetInsts int64
+	// MaxIntervals bounds the run as a safety net.
+	MaxIntervals int
+	// WarmupIntervals run before measurement starts: caches and Schedule
+	// Caches fill and the arbitrator reaches steady rotation, then all
+	// counters reset. Stands in for the billions of instructions that
+	// amortize cold-start in the paper's runs. Defaults to 3 intervals per
+	// application for arbitrated topologies.
+	WarmupIntervals int
+	// NoWarmup disables the warmup default (timeline experiments that want
+	// cold-start visible).
+	NoWarmup bool
+	// PingPongEvery forces every application to switch between two
+	// dedicated identical cores every N intervals (Figure 3b's setup:
+	// "two applications on three identical cores, with one application
+	// switching between two of them"). Both cores belong to the app, so
+	// its L1 contents survive across visits; the cost is the pipeline
+	// drain and state transfer. 0 disables.
+	PingPongEvery int
+
+	// BroadcastSC enables the multithreaded extension of Section 6: when
+	// the workload's threads perform homogeneous work (the same program on
+	// every core), one memoization pass on the OoO serves the whole
+	// cluster — the producer SC is broadcast to every consumer SC on
+	// eviction, speeding up all threads with one memoization attempt. The
+	// unidirectional broadcast pays one bus transfer per consumer.
+	BroadcastSC bool
+
+	// SCCapacityBytes sizes the Schedule Caches (8 KB default).
+	SCCapacityBytes int
+	// SCTransferCycles is the bus cost of shipping SC contents on migration
+	// (~1000 cycles for 8 KB over the 32 B bus, Section 4.2).
+	SCTransferCycles int64
+	// DrainCycles is the pipeline drain/architectural state transfer cost.
+	DrainCycles int64
+	// BusContentionShare is the fraction of a migration's bus occupancy
+	// that delays each co-running application (the bus serializes all
+	// off-core communication, Section 3.3.3; the paper measured the effect
+	// to be slight). Defaults to 0.1.
+	BusContentionShare float64
+
+	// Seed names the deterministic random stream for this run.
+	Seed string
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.IntervalCycles <= 0 {
+		c.IntervalCycles = 100_000
+	}
+	if c.TargetInsts <= 0 {
+		c.TargetInsts = 3_000_000
+	}
+	if c.MaxIntervals <= 0 {
+		c.MaxIntervals = 10_000
+	}
+	if c.SCCapacityBytes <= 0 {
+		c.SCCapacityBytes = schedcache.DefaultCapacityBytes
+	}
+	if c.SCTransferCycles <= 0 {
+		c.SCTransferCycles = 1000
+	}
+	if c.NumOoO <= 0 {
+		c.NumOoO = 1
+	}
+	if c.DrainCycles <= 0 {
+		c.DrainCycles = 100
+	}
+	if c.BusContentionShare == 0 {
+		c.BusContentionShare = 0.1
+	}
+	if c.Seed == "" {
+		c.Seed = "cluster"
+	}
+	return c
+}
+
+// IntervalStat is one application's record of one interval (timelines for
+// Figures 5 and 10).
+type IntervalStat struct {
+	OnOoO       bool
+	IPC         float64
+	SCMPKI      float64
+	DeltaSCMPKI float64
+	Insts       int64
+}
+
+// AppResult is the per-application outcome of a run.
+type AppResult struct {
+	Name string
+	// Insts and Cycles cover execution up to TargetInsts completion.
+	Insts  int64
+	Cycles int64
+	IPC    float64
+	// OoOCycles is time spent occupying the producer OoO.
+	OoOCycles int64
+	// MemoizedInsts counts instructions executed as OinO schedule replays.
+	MemoizedInsts int64
+	// Migrations counts moves onto the OoO.
+	Migrations int
+	// SCTransferCycles and L1RefillCycles are this app's accumulated
+	// migration costs (Figure 15).
+	SCTransferCycles int64
+	L1RefillCycles   int64
+	// EnergyPJ is the application's total core energy, by structure.
+	EnergyPJ energy.Breakdown
+	// Timeline holds per-interval stats.
+	Timeline []IntervalStat
+	// SquashedIters counts OinO replay misspeculations.
+	SquashedIters int64
+}
+
+// Result is the outcome of a cluster run.
+type Result struct {
+	Apps []AppResult
+	// WallCycles is when the last application completed its target.
+	WallCycles int64
+	// RunCycles is the total simulated (post-warmup) time: measured
+	// intervals times the interval length. The denominator for OoO
+	// utilization.
+	RunCycles int64
+	// OoOActiveCycles counts intervals (in cycles) the OoO was occupied.
+	OoOActiveCycles int64
+	// TotalEnergyPJ includes active core energy plus idle leakage of
+	// powered-on cores (the OoO power-gates when idle).
+	TotalEnergyPJ float64
+	// BusTransferCycles accumulates migration traffic (SC + state).
+	BusTransferCycles int64
+	// SCTransferCyclesTotal and L1RefillCyclesEst split migration cost for
+	// Figure 15.
+	SCTransferCyclesTotal int64
+	L1RefillCyclesEst     int64
+	Migrations            int
+	Intervals             int
+}
+
+// app is the runtime state of one application.
+type app struct {
+	bench *program.Benchmark
+	mem   *mem.Hierarchy
+	sc    *schedcache.Cache // consumer SC contents (travels with the app)
+	inoC  *ino.Core
+	oooC  *ooo.Core
+	rng   *xrand.Rand
+
+	walkers map[trace.ID][]*mem.Walker
+
+	instsRetired int64
+	cycles       int64 // local cycles consumed (== wall, apps run in lockstep intervals)
+	completedAt  int64
+
+	onOoO   bool
+	penalty int64 // cycles charged at the start of the next interval
+
+	// Cost cache: steady per-iteration measurements per trace and mode.
+	costs map[costKey]*measurement
+
+	// Arbitration stats.
+	ipcOoO            float64
+	scMPKIOoO         float64
+	haveOoOStats      bool
+	intervalsSinceOoO int
+	lastIPCInO        float64
+
+	// Fairness accounting (Eq 3).
+	oooCycles     int64
+	memoCreditCyc float64
+	migrations    int
+	memoizedInsts int64
+	squashedIters int64
+	scXferCycles  int64
+	l1Refills     int64
+	energyPJ      energy.Breakdown
+	// done freezes the app's counters when it first reaches its instruction
+	// target; restarted execution (Section 4.1) keeps the cluster contended
+	// but must not distort per-app comparisons.
+	done          *appSnapshot
+	timeline      []IntervalStat
+	lastDeltaMPKI float64
+	lastSCMPKIInO float64
+}
+
+// appSnapshot captures an app's counters at target completion.
+type appSnapshot struct {
+	energy        energy.Breakdown
+	oooCycles     int64
+	memoizedInsts int64
+	squashedIters int64
+	migrations    int
+	scXferCycles  int64
+	l1Refills     int64
+}
+
+type mode uint8
+
+const (
+	modeInO mode = iota
+	modeOinO
+	modeOoO
+)
+
+type costKey struct {
+	id trace.ID
+	m  mode
+}
+
+type measurement struct {
+	cyclesPerIter float64
+	perIterEnergy energy.Breakdown
+	sched         *trace.Schedule
+	squashRate    float64
+	// coldIters counts down iterations executed under the initial (cold
+	// cache) measurement before a warm re-measurement replaces it.
+	coldIters int
+}
+
+// Cluster is a configured simulation ready to run.
+type Cluster struct {
+	cfg  Config
+	apps []*app
+
+	producerSC *schedcache.Cache
+	recorder   *ooo.Recorder
+	oooOwners  []int // app indexes occupying the OoO cores (empty: gated)
+	rng        *xrand.Rand
+}
+
+// New builds a cluster. It returns an error for unusable configurations.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("cluster: no applications")
+	}
+	for i, b := range cfg.Apps {
+		if b == nil {
+			return nil, fmt.Errorf("cluster: nil benchmark at %d", i)
+		}
+	}
+	if cfg.NumOoO > 1 && cfg.Memoize {
+		return nil, fmt.Errorf("cluster: Mirage uses a single schedule producer (NumOoO=%d with Memoize)", cfg.NumOoO)
+	}
+	root := xrand.NewString("cluster:" + cfg.Seed)
+	c := &Cluster{cfg: cfg, rng: root.Fork("arb")}
+	if cfg.HasOoO && !cfg.AllOoO {
+		c.producerSC = schedcache.New(cfg.SCCapacityBytes)
+		c.recorder = ooo.NewRecorder(root.Fork("rec"))
+	}
+	for i, b := range cfg.Apps {
+		h := mem.NewHierarchy()
+		ar := root.Fork(fmt.Sprintf("app%d:%s", i, b.Name))
+		a := &app{
+			bench:   b,
+			mem:     h,
+			inoC:    ino.New(h, ar.Fork("ino")),
+			oooC:    ooo.New(h, ar.Fork("ooo")),
+			rng:     ar,
+			walkers: make(map[trace.ID][]*mem.Walker),
+			costs:   make(map[costKey]*measurement),
+		}
+		if cfg.Memoize {
+			a.sc = schedcache.New(cfg.SCCapacityBytes)
+		}
+		c.apps = append(c.apps, a)
+	}
+	return c, nil
+}
+
+// Run executes the simulation to completion and returns the result.
+func (c *Cluster) Run() (*Result, error) {
+	res := &Result{}
+	warm := c.cfg.WarmupIntervals
+	if warm == 0 && !c.cfg.NoWarmup {
+		if c.cfg.HasOoO && !c.cfg.AllOoO {
+			// Long enough for the arbitration rotation to visit everyone.
+			warm = 3 * len(c.apps)
+		} else {
+			// Homogeneous CMPs only need cache warmup.
+			warm = 4
+		}
+	}
+	interval := 0
+	for ; interval < c.cfg.MaxIntervals+warm; interval++ {
+		c.runInterval(interval, res)
+		if interval == warm-1 {
+			c.resetCounters(res)
+			continue
+		}
+		if interval >= warm && c.allDone() {
+			break
+		}
+		if c.cfg.HasOoO && !c.cfg.AllOoO && c.cfg.Arbiter != nil {
+			c.arbitrate(interval, res)
+		}
+		if p := c.cfg.PingPongEvery; p > 0 && (interval+1)%p == 0 {
+			for _, a := range c.apps {
+				a.penalty += c.cfg.DrainCycles
+				res.Migrations++
+			}
+		}
+	}
+	res.Intervals = interval + 1 - warm
+	res.RunCycles = int64(res.Intervals) * c.cfg.IntervalCycles
+	c.finalize(res)
+	return res, nil
+}
+
+// resetCounters zeroes measurement state after warmup while preserving
+// microarchitectural state (caches, Schedule Caches, arbitration history).
+func (c *Cluster) resetCounters(res *Result) {
+	for _, a := range c.apps {
+		a.instsRetired = 0
+		a.cycles = 0
+		a.completedAt = 0
+		a.done = nil
+		a.oooCycles = 0
+		a.memoCreditCyc = 0
+		a.migrations = 0
+		a.memoizedInsts = 0
+		a.squashedIters = 0
+		a.scXferCycles = 0
+		a.l1Refills = 0
+		a.energyPJ = energy.Breakdown{}
+		a.timeline = nil
+	}
+	*res = Result{}
+}
+
+func (c *Cluster) allDone() bool {
+	for _, a := range c.apps {
+		if a.completedAt == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// runInterval advances every application by one interval.
+func (c *Cluster) runInterval(interval int, res *Result) {
+	for i, a := range c.apps {
+		onOoO := c.cfg.AllOoO || (a.onOoO && c.cfg.HasOoO)
+		budget := c.cfg.IntervalCycles - a.penalty
+		a.penalty = 0
+		if budget < 0 {
+			budget = 0
+		}
+		st := c.runApp(a, onOoO, budget)
+		st.OnOoO = onOoO
+		a.timeline = append(a.timeline, st)
+		a.cycles += c.cfg.IntervalCycles
+		if onOoO && !c.cfg.AllOoO {
+			a.oooCycles += c.cfg.IntervalCycles
+			res.OoOActiveCycles += c.cfg.IntervalCycles / int64(c.cfg.NumOoO)
+			a.intervalsSinceOoO = 0
+		} else {
+			a.intervalsSinceOoO++
+		}
+		if a.completedAt == 0 && a.instsRetired >= c.cfg.TargetInsts {
+			// runApp records the exact crossing cycle in completedAt when it
+			// happens mid-interval; fall back to the interval boundary.
+			a.completedAt = a.cycles
+			a.snapshotDone()
+		}
+		_ = i
+	}
+}
+
+func (a *app) snapshotDone() {
+	a.done = &appSnapshot{
+		energy:        a.energyPJ,
+		oooCycles:     a.oooCycles,
+		memoizedInsts: a.memoizedInsts,
+		squashedIters: a.squashedIters,
+		migrations:    a.migrations,
+		scXferCycles:  a.scXferCycles,
+		l1Refills:     a.l1Refills,
+	}
+}
+
+// runApp executes one application for `budget` cycles on its current core.
+func (c *Cluster) runApp(a *app, onOoO bool, budget int64) IntervalStat {
+	st := IntervalStat{}
+	if budget == 0 {
+		return st
+	}
+	var cycles float64
+	var insts int64
+	var scMisses, scExecs, scInsts int64
+
+	phaseIdx := a.bench.PhaseAt(a.instsRetired)
+	phase := &a.bench.Phases[phaseIdx]
+	weights := loopWeights(phase)
+
+	for cycles < float64(budget) {
+		// Phase change mid-interval?
+		if p := a.bench.PhaseAt(a.instsRetired); p != phaseIdx {
+			phaseIdx = p
+			phase = &a.bench.Phases[phaseIdx]
+			weights = loopWeights(phase)
+		}
+		l := &phase.Loops[a.rng.Pick(weights)]
+		t := l.Trace
+
+		m := modeInO
+		var sched *trace.Schedule
+		switch {
+		case onOoO:
+			m = modeOoO
+		case c.cfg.Memoize && a.sc != nil:
+			if s, ok := a.lookupSC(t); ok {
+				m = modeOinO
+				sched = s
+			}
+		}
+
+		ms := c.measure(a, l, m, sched)
+		if ms.cyclesPerIter <= 0 {
+			ms.cyclesPerIter = 1
+		}
+
+		// Burst: enough iterations for ~2000 cycles, capped by the budget.
+		iters := int(2000.0/ms.cyclesPerIter) + 1
+		if rem := float64(budget) - cycles; float64(iters)*ms.cyclesPerIter > rem {
+			iters = int(rem/ms.cyclesPerIter) + 1
+		}
+		if ms.coldIters > 0 {
+			if iters > ms.coldIters {
+				iters = ms.coldIters
+			}
+			ms.coldIters -= iters
+			if ms.coldIters <= 0 {
+				// Warm now: re-measure on next use.
+				delete(a.costs, costKey{t.ID, m})
+			}
+		}
+
+		n := int64(iters) * int64(t.Len())
+		cycles += float64(iters) * ms.cyclesPerIter
+		insts += n
+		a.instsRetired += n
+		if a.completedAt == 0 && a.instsRetired >= c.cfg.TargetInsts {
+			// Exact completion point within the interval (a.cycles still
+			// holds the interval-start wall time here).
+			a.completedAt = a.cycles + int64(cycles) + (c.cfg.IntervalCycles - budget)
+			a.snapshotDone()
+		}
+		for s := energy.Structure(0); s < energy.NumStructures; s++ {
+			a.energyPJ[s] += ms.perIterEnergy[s] * float64(iters)
+		}
+
+		switch m {
+		case modeOinO:
+			a.memoizedInsts += n
+			a.memoCreditCyc += float64(iters) * ms.cyclesPerIter * c.replaySpeedup(a, ms)
+			a.squashedIters += int64(float64(iters)*ms.squashRate + 0.5)
+			scExecs += int64(iters)
+			scInsts += n
+		case modeInO:
+			if c.cfg.Memoize && a.sc != nil {
+				scExecs += int64(iters)
+				scInsts += n
+				scMisses += int64(iters)
+			}
+		case modeOoO:
+			c.produce(a, l, ms, iters)
+		}
+	}
+
+	st.Insts = insts
+	if budget > 0 {
+		st.IPC = float64(insts) / float64(budget)
+	}
+	if scInsts > 0 {
+		st.SCMPKI = float64(scMisses) * 1000 / float64(scInsts)
+	}
+
+	// Update arbitration state.
+	if onOoO {
+		a.ipcOoO = st.IPC
+		a.haveOoOStats = true
+		if c.cfg.Memoize {
+			a.scMPKIOoO = c.memoizabilityMPKI(a, phase)
+		}
+	} else {
+		a.lastIPCInO = st.IPC
+		a.lastSCMPKIInO = st.SCMPKI
+	}
+	den := a.scMPKIOoO
+	if !a.haveOoOStats {
+		den = 1
+	}
+	if den < 0.05 {
+		den = 0.05
+	}
+	st.DeltaSCMPKI = (st.SCMPKI - den) / den
+	a.lastDeltaMPKI = st.DeltaSCMPKI
+	return st
+}
+
+// lookupSC consults the app's SC for a trace (hit statistics are kept by
+// the caller in batch form; this checks contents only).
+func (a *app) lookupSC(t *trace.Trace) (*trace.Schedule, bool) {
+	if s, ok := a.sc.Lookup(t.ID, 0); ok && s.Replayable() {
+		return s, true
+	}
+	return nil, false
+}
+
+// replaySpeedup estimates the Eq 3 speedup credit of memoized execution.
+func (c *Cluster) replaySpeedup(a *app, ms *measurement) float64 {
+	if a.ipcOoO <= 0 || ms.cyclesPerIter <= 0 {
+		return 1
+	}
+	// speedup = IPC_replay / IPC_OoO, capped at 1.
+	// (Eq 2's speedup, using this trace's replay IPC.)
+	ipcReplay := 1.0 / ms.cyclesPerIter // per-inst scale cancels in the cap
+	_ = ipcReplay
+	sp := a.lastIPCInO / a.ipcOoO
+	if sp > 1 {
+		sp = 1
+	}
+	if sp <= 0 {
+		sp = 0.9
+	}
+	return sp
+}
+
+// produce runs the memoization hardware while the app occupies the OoO:
+// the recorder observes executions and inserts confident schedules into the
+// producer SC.
+func (c *Cluster) produce(a *app, l *program.Loop, ms *measurement, iters int) {
+	if !c.cfg.Memoize || c.recorder == nil || ms.sched == nil {
+		return
+	}
+	if c.producerSC.Contains(l.Trace.ID) {
+		return
+	}
+	// The recorder needs a few consecutive matching executions; model up to
+	// `iters` observations (bounded — confidence saturates quickly).
+	obs := iters
+	if obs > 8 {
+		obs = 8
+	}
+	for k := 0; k < obs; k++ {
+		if c.recorder.Observe(l.Trace, ms.sched, ms.sched.RecordedCycles) {
+			if err := c.producerSC.Insert(ms.sched); err == nil {
+				break
+			}
+		}
+	}
+}
+
+// memoizabilityMPKI computes SC-MPKI_OoO: the extent of memoizability of
+// the current phase as seen at the end of a memoize interval — traces the
+// producer could not memoize miss in the SC.
+func (c *Cluster) memoizabilityMPKI(a *app, phase *program.Phase) float64 {
+	var missW, instW float64
+	for _, l := range phase.Loops {
+		w := l.Weight
+		instW += w * float64(l.Trace.Len())
+		if !c.producerSC.Contains(l.Trace.ID) {
+			missW += w
+		}
+	}
+	if instW == 0 {
+		return 0
+	}
+	return missW * 1000 / instW
+}
+
+// measure returns (computing if needed) the steady per-iteration cost of a
+// trace in the given mode, using genuine pipeline simulation.
+func (c *Cluster) measure(a *app, l *program.Loop, m mode, sched *trace.Schedule) *measurement {
+	key := costKey{l.Trace.ID, m}
+	if ms, ok := a.costs[key]; ok {
+		return ms
+	}
+	ws := a.walkersFor(l.Trace)
+	ms := &measurement{}
+	const iters = 10
+	switch m {
+	case modeOoO:
+		r := a.oooC.MeasureTrace(l.Trace, l.Deps, ws, iters)
+		ms.cyclesPerIter = r.CyclesPerIter
+		ms.sched = r.Schedule
+		ms.perIterEnergy = scaleBreakdown(energy.Compute(energy.KindOoO, r.Events), iters)
+	case modeOinO:
+		r := a.inoC.MeasureReplay(l.Trace, l.Deps, sched, ws, iters)
+		// Trace selection is biased against unprofitable schedules
+		// (Section 3.3.2): if replay measures slower than plain in-order
+		// execution under current cache conditions, the core abandons the
+		// schedule and fetches program order from the L1I instead.
+		plain := a.inoC.MeasureTrace(l.Trace, l.Deps, ws, iters)
+		if plain.CyclesPerIter < r.CyclesPerIter {
+			a.sc.MarkUnmemoizable(l.Trace.ID)
+			ms.cyclesPerIter = plain.CyclesPerIter
+			ms.perIterEnergy = scaleBreakdown(energy.Compute(energy.KindInO, plain.Events), iters)
+			break
+		}
+		ms.cyclesPerIter = r.CyclesPerIter
+		ms.squashRate = r.SquashRate
+		ms.perIterEnergy = scaleBreakdown(energy.Compute(energy.KindOinO, r.Events), iters)
+	default:
+		r := a.inoC.MeasureTrace(l.Trace, l.Deps, ws, iters)
+		ms.cyclesPerIter = r.CyclesPerIter
+		ms.perIterEnergy = scaleBreakdown(energy.Compute(energy.KindInO, r.Events), iters)
+	}
+	// First measurement after a migration/new trace runs with cold caches;
+	// keep it for a warmup window, then re-measure warm.
+	ms.coldIters = 48
+	a.costs[key] = ms
+	return ms
+}
+
+func scaleBreakdown(b energy.Breakdown, iters int) energy.Breakdown {
+	var out energy.Breakdown
+	for i := range b {
+		out[i] = b[i] / float64(iters)
+	}
+	return out
+}
+
+func (a *app) walkersFor(t *trace.Trace) []*mem.Walker {
+	if ws, ok := a.walkers[t.ID]; ok {
+		return ws
+	}
+	ws := make([]*mem.Walker, len(t.Streams))
+	for i, s := range t.Streams {
+		ws[i] = mem.NewWalker(s, a.rng.Fork(fmt.Sprintf("w%d-%d", t.ID, i)))
+	}
+	a.walkers[t.ID] = ws
+	return ws
+}
+
+func loopWeights(p *program.Phase) []float64 {
+	ws := make([]float64, len(p.Loops))
+	for i := range p.Loops {
+		ws[i] = p.Loops[i].Weight
+	}
+	return ws
+}
+
+// arbitrate applies the policy at an interval boundary and performs the
+// resulting migration.
+func (c *Cluster) arbitrate(interval int, res *Result) {
+	states := make([]arbiter.AppState, len(c.apps))
+	for i, a := range c.apps {
+		util := 0.0
+		if a.cycles > 0 {
+			util = (float64(a.oooCycles) + a.memoCreditCyc) / float64(a.cycles)
+		}
+		states[i] = arbiter.AppState{
+			Index:             i,
+			OnOoO:             a.onOoO,
+			IPCInO:            a.lastIPCInO,
+			IPCOoO:            a.ipcOoO,
+			SCMPKIInO:         a.lastSCMPKIInO,
+			SCMPKIOoO:         a.scMPKIOoO,
+			HaveOoOStats:      a.haveOoOStats,
+			IntervalsSinceOoO: a.intervalsSinceOoO,
+			Util:              util,
+		}
+	}
+	// Fill up to NumOoO slots by repeatedly asking the policy, excluding
+	// apps already granted a slot this boundary.
+	var picks []int
+	remaining := states
+	for slot := 0; slot < c.cfg.NumOoO && len(remaining) > 0; slot++ {
+		pick := c.cfg.Arbiter.Decide(remaining, interval)
+		if pick == arbiter.None || pick < 0 || pick >= len(c.apps) {
+			break
+		}
+		picks = append(picks, pick)
+		filtered := remaining[:0:0]
+		for _, s := range remaining {
+			if s.Index != pick {
+				filtered = append(filtered, s)
+			}
+		}
+		remaining = filtered
+	}
+
+	picked := make(map[int]bool, len(picks))
+	for _, p := range picks {
+		picked[p] = true
+	}
+	// Evict owners that lost their slot.
+	var kept []int
+	for _, owner := range c.oooOwners {
+		if picked[owner] {
+			kept = append(kept, owner)
+			delete(picked, owner) // already seated; no move needed
+		} else {
+			c.evictFromOoO(c.apps[owner], res)
+		}
+	}
+	c.oooOwners = kept
+	for _, p := range picks {
+		if picked[p] {
+			c.moveToOoO(c.apps[p], res)
+			c.oooOwners = append(c.oooOwners, p)
+		}
+	}
+}
+
+// evictFromOoO returns an app to its InO core, shipping the producer SC
+// contents with it over the bus.
+func (c *Cluster) evictFromOoO(a *app, res *Result) {
+	a.onOoO = false
+	var scCost int64
+	if c.cfg.Memoize && a.sc != nil {
+		moved := a.sc.CopyFrom(c.producerSC)
+		if moved > 0 {
+			scCost = c.cfg.SCTransferCycles
+		}
+		if c.cfg.BroadcastSC && moved > 0 {
+			// Homogeneous threads (Section 6): every consumer receives the
+			// schedules over the unidirectional broadcast path. Receivers
+			// pay the transfer latency; the departing app already does.
+			for _, peer := range c.apps {
+				if peer == a || peer.sc == nil {
+					continue
+				}
+				if peer.sc.CopyFrom(c.producerSC) > 0 {
+					peer.penalty += c.cfg.SCTransferCycles
+					peer.scXferCycles += c.cfg.SCTransferCycles
+					res.SCTransferCyclesTotal += c.cfg.SCTransferCycles
+					res.BusTransferCycles += c.cfg.SCTransferCycles
+					// Stale per-trace measurements: new schedules available.
+					peer.costs = make(map[costKey]*measurement)
+				}
+			}
+		}
+	}
+	refill := c.estimateL1Refill(a)
+	a.penalty += c.cfg.DrainCycles + scCost
+	a.scXferCycles += scCost
+	a.l1Refills += refill
+	res.BusTransferCycles += c.cfg.DrainCycles + scCost
+	res.SCTransferCyclesTotal += scCost
+	res.L1RefillCyclesEst += refill
+	c.chargeBusContention(a, c.cfg.DrainCycles+scCost)
+	a.migrate()
+}
+
+// chargeBusContention delays every co-running application by a share of a
+// bus transfer's occupancy (the bus serializes all off-core traffic).
+func (c *Cluster) chargeBusContention(mover *app, transfer int64) {
+	delay := int64(float64(transfer) * c.cfg.BusContentionShare)
+	if delay <= 0 {
+		return
+	}
+	for _, peer := range c.apps {
+		if peer != mover {
+			peer.penalty += delay
+		}
+	}
+}
+
+// moveToOoO moves an app onto the producer core.
+func (c *Cluster) moveToOoO(a *app, res *Result) {
+	a.onOoO = true
+	a.migrations++
+	res.Migrations++
+	refill := c.estimateL1Refill(a)
+	a.penalty += c.cfg.DrainCycles
+	a.l1Refills += refill
+	res.BusTransferCycles += c.cfg.DrainCycles
+	res.L1RefillCyclesEst += refill
+	c.chargeBusContention(a, c.cfg.DrainCycles)
+	if c.cfg.Memoize && c.producerSC != nil {
+		// The producer starts fresh for the new application.
+		c.producerSC.Flush()
+		c.recorder.Reset()
+	}
+	a.migrate()
+}
+
+// migrate applies the core-switch state effects: cold L1s, invalidated
+// steady-state measurements.
+func (a *app) migrate() {
+	a.mem.FlushL1s()
+	a.costs = make(map[costKey]*measurement)
+}
+
+// estimateL1Refill estimates the cold-start refill cost the app will absorb
+// (reported for Figure 15; the real cost is paid implicitly through cold
+// cache re-measurement).
+func (c *Cluster) estimateL1Refill(a *app) int64 {
+	occ := int64(a.mem.L1D.Occupancy() + a.mem.L1I.Occupancy())
+	return occ * mem.L2Latency / 4 // overlapping refills
+}
+
+// finalize computes aggregate energy and per-app results.
+func (c *Cluster) finalize(res *Result) {
+	var wall int64
+	for _, a := range c.apps {
+		if a.completedAt > wall {
+			wall = a.completedAt
+		}
+		if a.completedAt == 0 && a.cycles > wall {
+			wall = a.cycles
+		}
+	}
+	res.WallCycles = wall
+
+	var total float64
+	for _, a := range c.apps {
+		ar := AppResult{
+			Name:             a.bench.Name,
+			Insts:            a.instsRetired,
+			Cycles:           a.cycles,
+			OoOCycles:        a.oooCycles,
+			MemoizedInsts:    a.memoizedInsts,
+			Migrations:       a.migrations,
+			SCTransferCycles: a.scXferCycles,
+			L1RefillCycles:   a.l1Refills,
+			EnergyPJ:         a.energyPJ,
+			Timeline:         a.timeline,
+			SquashedIters:    a.squashedIters,
+		}
+		oooCyc := a.oooCycles
+		// Energy and IPC are reported over the app's completion window:
+		// TargetInsts instructions, however long they took.
+		if a.completedAt > 0 {
+			ar.Insts = c.cfg.TargetInsts
+			ar.Cycles = a.completedAt
+			ar.IPC = float64(c.cfg.TargetInsts) / float64(a.completedAt)
+			if a.done != nil {
+				ar.EnergyPJ = a.done.energy
+				ar.MemoizedInsts = a.done.memoizedInsts
+				ar.SquashedIters = a.done.squashedIters
+				ar.Migrations = a.done.migrations
+				ar.SCTransferCycles = a.done.scXferCycles
+				ar.L1RefillCycles = a.done.l1Refills
+				oooCyc = a.done.oooCycles
+				// ar.OoOCycles keeps the full-run value: OoO time *share*
+				// is a property of the whole run (Figure 12), while energy
+				// freezes at completion.
+			}
+		} else if a.cycles > 0 {
+			ar.IPC = float64(a.instsRetired) / float64(a.cycles)
+		}
+		res.Apps = append(res.Apps, ar)
+		total += ar.EnergyPJ.Total()
+		// Idle InO leakage while the app occupied the OoO (its home core
+		// waits powered on).
+		if !c.cfg.AllOoO && c.cfg.HasOoO {
+			total += energy.IdleLeakagePJ(energy.KindInO, uint64(oooCyc)) * 0.3
+		}
+	}
+	// The OoO's idle time is power-gated: zero cost (Section 4.2).
+	res.TotalEnergyPJ = total
+}

@@ -1,0 +1,386 @@
+// Package core is the top-level Mirage Cores library: it assembles
+// workloads, cluster configurations, arbitration policies and baselines
+// into the system evaluated in the paper, and exposes the entry points the
+// examples, experiments and benchmarks build on.
+//
+// The central object is Config: an n-InO-per-OoO cluster description plus a
+// workload mix. RunMix simulates it; Baselines simulates the homogeneous
+// reference CMPs; CompareArbitrators sweeps scheduling policies on the same
+// mix.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Policy names an arbitration policy.
+type Policy string
+
+// The arbitration policies evaluated in Section 5.
+const (
+	PolicySCMPKI       Policy = "SC-MPKI"
+	PolicyMaxSTP       Policy = "maxSTP"
+	PolicySCMPKIMaxSTP Policy = "SC-MPKI+maxSTP"
+	PolicyFair         Policy = "Fair"
+	PolicySCMPKIFair   Policy = "SC-MPKI-fair"
+	// PolicySoftwareSCMPKI is SC-MPKI arbitration in the OS layer
+	// (Section 3.2.4): re-evaluated only at timeslice granularity.
+	PolicySoftwareSCMPKI Policy = "software-SC-MPKI"
+)
+
+// SoftwarePollIntervals is how many hardware intervals one OS timeslice
+// spans for PolicySoftwareSCMPKI (the paper's ~10ms vs 1M-cycle intervals).
+const SoftwarePollIntervals = 10
+
+// NewArbiter constructs the named policy.
+func NewArbiter(p Policy) (arbiter.Arbiter, error) {
+	switch p {
+	case PolicySCMPKI:
+		return arbiter.NewSCMPKI(), nil
+	case PolicyMaxSTP:
+		return arbiter.NewMaxSTP(), nil
+	case PolicySCMPKIMaxSTP:
+		return arbiter.NewSCMPKIMaxSTP(), nil
+	case PolicyFair:
+		return arbiter.NewFair(), nil
+	case PolicySCMPKIFair:
+		return arbiter.NewSCMPKIFair(), nil
+	case PolicySoftwareSCMPKI:
+		return arbiter.NewSoftware(arbiter.NewSCMPKI(), SoftwarePollIntervals), nil
+	}
+	return nil, fmt.Errorf("core: unknown policy %q", p)
+}
+
+// Topology selects the CMP style.
+type Topology uint8
+
+const (
+	// TopologyMirage is n InO (OinO-capable) cores plus 1 producer OoO.
+	TopologyMirage Topology = iota
+	// TopologyTraditional is n InO cores plus 1 OoO, no memoization.
+	TopologyTraditional
+	// TopologyHomoInO is n plain InO cores.
+	TopologyHomoInO
+	// TopologyHomoOoO is one OoO core per application.
+	TopologyHomoOoO
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case TopologyMirage:
+		return "Mirage"
+	case TopologyTraditional:
+		return "Traditional"
+	case TopologyHomoInO:
+		return "Homo-InO"
+	case TopologyHomoOoO:
+		return "Homo-OoO"
+	}
+	return "Topology?"
+}
+
+// Config describes one simulation: a topology, a workload mix, a policy and
+// scale knobs.
+type Config struct {
+	Topology Topology
+	// Benchmarks name the workload mix (one application per InO core).
+	Benchmarks []string
+	// Policy selects the arbitrator for Het topologies.
+	Policy Policy
+
+	// NumOoO is the OoO core count for TopologyTraditional (default 1);
+	// e.g. the 5:3 Kumar-style CMP of Figure 14 uses NumOoO=3.
+	NumOoO int
+
+	// IntervalCycles, TargetInsts and SCCapacityBytes override the scaled
+	// defaults (see cluster.Config); zero keeps defaults.
+	IntervalCycles  int64
+	TargetInsts     int64
+	SCCapacityBytes int
+	// NoWarmup disables the warmup phase (timeline experiments).
+	NoWarmup bool
+	// PingPongEvery forces migrations every N intervals (Figure 3b).
+	PingPongEvery int
+	// BroadcastSC enables the Section 6 multithreaded extension: the
+	// producer's schedules broadcast to every consumer SC, so one
+	// memoization pass serves homogeneous threads cluster-wide.
+	BroadcastSC bool
+	// Seed names the deterministic random stream.
+	Seed string
+}
+
+// MixResult is a simulated mix outcome with derived metrics.
+type MixResult struct {
+	Config  Config
+	Cluster *cluster.Result
+	// PerAppIPC is each application's end-to-end IPC.
+	PerAppIPC []float64
+	// STP is the mean speedup versus each app alone on an OoO
+	// (populated by RunMixWithBaseline / experiment harnesses).
+	STP float64
+	// EnergyPJ is total energy; AreaMM2 the CMP area.
+	EnergyPJ float64
+	AreaMM2  float64
+	// OoOActiveFrac is the fraction of wall cycles the OoO was powered.
+	OoOActiveFrac float64
+}
+
+// resolveMix maps benchmark names to generated workloads.
+func resolveMix(names []string) ([]*program.Benchmark, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: empty workload mix")
+	}
+	out := make([]*program.Benchmark, len(names))
+	for i, n := range names {
+		b := program.ByName(n)
+		if b == nil {
+			return nil, fmt.Errorf("core: unknown benchmark %q", n)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// clusterConfig lowers a Config to the cluster layer.
+func (c Config) clusterConfig(apps []*program.Benchmark) (cluster.Config, error) {
+	cc := cluster.Config{
+		Apps:            apps,
+		NumOoO:          c.NumOoO,
+		IntervalCycles:  c.IntervalCycles,
+		TargetInsts:     c.TargetInsts,
+		SCCapacityBytes: c.SCCapacityBytes,
+		NoWarmup:        c.NoWarmup,
+		PingPongEvery:   c.PingPongEvery,
+		BroadcastSC:     c.BroadcastSC,
+		Seed:            c.Seed + ":" + string(c.Policy),
+	}
+	switch c.Topology {
+	case TopologyMirage:
+		cc.HasOoO = true
+		cc.Memoize = true
+	case TopologyTraditional:
+		cc.HasOoO = true
+	case TopologyHomoInO:
+		// defaults
+	case TopologyHomoOoO:
+		cc.AllOoO = true
+	default:
+		return cc, fmt.Errorf("core: unknown topology %d", c.Topology)
+	}
+	if cc.HasOoO {
+		pol := c.Policy
+		if pol == "" {
+			pol = PolicySCMPKI
+		}
+		arb, err := NewArbiter(pol)
+		if err != nil {
+			return cc, err
+		}
+		cc.Arbiter = arb
+	}
+	return cc, nil
+}
+
+// RunMix simulates one configuration.
+func RunMix(cfg Config) (*MixResult, error) {
+	apps, err := resolveMix(cfg.Benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := cfg.clusterConfig(apps)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cl.Run()
+	if err != nil {
+		return nil, err
+	}
+	mr := &MixResult{Config: cfg, Cluster: res, EnergyPJ: res.TotalEnergyPJ}
+	for _, a := range res.Apps {
+		mr.PerAppIPC = append(mr.PerAppIPC, a.IPC)
+	}
+	numOoO := cfg.NumOoO
+	if numOoO <= 0 {
+		numOoO = 1
+	}
+	mr.AreaMM2 = AreaK(cfg.Topology, len(apps), numOoO)
+	if res.RunCycles > 0 {
+		mr.OoOActiveFrac = float64(res.OoOActiveCycles) / float64(res.RunCycles)
+	}
+	if cfg.Topology == TopologyHomoOoO {
+		mr.OoOActiveFrac = 1
+	}
+	return mr, nil
+}
+
+// Area returns the CMP area (mm^2) of a topology with n applications.
+func Area(t Topology, n int) float64 { return AreaK(t, n, 1) }
+
+// AreaK is Area with an explicit OoO count for traditional topologies.
+func AreaK(t Topology, n, numOoO int) float64 {
+	switch t {
+	case TopologyMirage:
+		return energy.ClusterArea(1, 0, n)
+	case TopologyTraditional:
+		return energy.ClusterArea(numOoO, n, 0)
+	case TopologyHomoInO:
+		return energy.ClusterArea(0, n, 0)
+	case TopologyHomoOoO:
+		return energy.ClusterArea(n, 0, 0)
+	}
+	return 0
+}
+
+// OoOReference runs each benchmark alone on a private OoO core and returns
+// per-app reference IPCs — the denominator of every speedup in Section 5.
+func OoOReference(names []string, targetInsts int64, seed string) ([]float64, error) {
+	cfg := Config{
+		Topology:    TopologyHomoOoO,
+		Benchmarks:  names,
+		TargetInsts: targetInsts,
+		Seed:        seed + ":ref",
+	}
+	mr, err := RunMix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return mr.PerAppIPC, nil
+}
+
+// RunMixWithBaseline runs cfg and fills STP against the Homo-OoO reference.
+func RunMixWithBaseline(cfg Config) (*MixResult, error) {
+	mr, err := RunMix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := OoOReference(cfg.Benchmarks, cfg.TargetInsts, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	mr.STP = stats.STP(mr.PerAppIPC, ref)
+	return mr, nil
+}
+
+// CompareArbitrators runs the same mix under each named policy/topology
+// pair and returns results keyed by policy (plus the homogeneous
+// references). This is the engine behind Figures 7, 8 and 9b.
+type Comparison struct {
+	Mix      []string
+	RefIPC   []float64 // per-app Homo-OoO IPC
+	HomoInO  *MixResult
+	HomoOoO  *MixResult
+	ByPolicy map[Policy]*MixResult
+}
+
+// ArbitratorSet is the per-figure policy lineup: SC-MPKI and
+// SC-MPKI+maxSTP on Mirage hardware, maxSTP on a traditional Het-CMP.
+var ArbitratorSet = []struct {
+	Policy   Policy
+	Topology Topology
+}{
+	{PolicySCMPKI, TopologyMirage},
+	{PolicySCMPKIMaxSTP, TopologyMirage},
+	{PolicyMaxSTP, TopologyTraditional},
+}
+
+// FairSet is the Figure 12/13 lineup.
+var FairSet = []struct {
+	Policy   Policy
+	Topology Topology
+}{
+	{PolicySCMPKIFair, TopologyMirage},
+	{PolicyFair, TopologyTraditional},
+	{PolicyMaxSTP, TopologyTraditional},
+	{PolicySCMPKI, TopologyMirage},
+}
+
+// Compare runs the standard arbitrator line-up on one mix.
+func Compare(mix []string, base Config, set []struct {
+	Policy   Policy
+	Topology Topology
+}) (*Comparison, error) {
+	cmp := &Comparison{Mix: mix, ByPolicy: make(map[Policy]*MixResult)}
+
+	refCfg := base
+	refCfg.Topology = TopologyHomoOoO
+	refCfg.Benchmarks = mix
+	refCfg.Policy = ""
+	homoOoO, err := RunMix(refCfg)
+	if err != nil {
+		return nil, err
+	}
+	cmp.HomoOoO = homoOoO
+	cmp.RefIPC = homoOoO.PerAppIPC
+	homoOoO.STP = 1
+
+	inoCfg := refCfg
+	inoCfg.Topology = TopologyHomoInO
+	homoInO, err := RunMix(inoCfg)
+	if err != nil {
+		return nil, err
+	}
+	homoInO.STP = stats.STP(homoInO.PerAppIPC, cmp.RefIPC)
+	cmp.HomoInO = homoInO
+
+	for _, pt := range set {
+		cfg := base
+		cfg.Benchmarks = mix
+		cfg.Topology = pt.Topology
+		cfg.Policy = pt.Policy
+		mr, err := RunMix(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mr.STP = stats.STP(mr.PerAppIPC, cmp.RefIPC)
+		cmp.ByPolicy[pt.Policy] = mr
+	}
+	return cmp, nil
+}
+
+// MixKind selects how RandomMixes composes workloads (Section 4.1: 10 mixes
+// per single category plus 22 random mixes across categories).
+type MixKind uint8
+
+const (
+	// MixHPD draws only from the HPD category.
+	MixHPD MixKind = iota
+	// MixLPD draws only from the LPD category.
+	MixLPD
+	// MixRandom draws from the whole suite.
+	MixRandom
+)
+
+// RandomMixes builds `count` workload mixes of `size` applications each.
+func RandomMixes(kind MixKind, size, count int, seed string) [][]string {
+	var pool []string
+	switch kind {
+	case MixHPD:
+		pool = program.ByCategory(program.HPD)
+	case MixLPD:
+		pool = program.ByCategory(program.LPD)
+	default:
+		pool = program.Names()
+	}
+	rng := xrand.NewString("mix:" + seed)
+	mixes := make([][]string, count)
+	for m := range mixes {
+		mix := make([]string, size)
+		for i := range mix {
+			mix[i] = pool[rng.Intn(len(pool))]
+		}
+		mixes[m] = mix
+	}
+	return mixes
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestMirageShape8to1 checks the paper's headline ordering on one random
+// 8-app mix: Homo-InO < maxSTP (traditional) < SC-MPKI (Mirage) <= Homo-OoO,
+// with Mirage recovering most of the OoO performance at lower energy.
+func TestMirageShape8to1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-mix simulation is slow")
+	}
+	mix := []string{"hmmer", "bzip2", "astar", "milc", "gcc", "namd", "h264ref", "omnetpp"}
+	base := Config{
+		TargetInsts:    1_200_000,
+		IntervalCycles: 50_000,
+		Seed:           "smoke",
+	}
+	cmp, err := Compare(mix, base, ArbitratorSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stpInO := cmp.HomoInO.STP
+	stpMaxSTP := cmp.ByPolicy[PolicyMaxSTP].STP
+	stpMirage := cmp.ByPolicy[PolicySCMPKI].STP
+	t.Logf("STP: HomoInO=%.2f maxSTP=%.2f Mirage/SC-MPKI=%.2f SC-MPKI+maxSTP=%.2f",
+		stpInO, stpMaxSTP, stpMirage, cmp.ByPolicy[PolicySCMPKIMaxSTP].STP)
+	t.Logf("energy rel Homo-OoO: InO=%.2f maxSTP=%.2f Mirage=%.2f",
+		cmp.HomoInO.EnergyPJ/cmp.HomoOoO.EnergyPJ,
+		cmp.ByPolicy[PolicyMaxSTP].EnergyPJ/cmp.HomoOoO.EnergyPJ,
+		cmp.ByPolicy[PolicySCMPKI].EnergyPJ/cmp.HomoOoO.EnergyPJ)
+	t.Logf("OoO active frac: Mirage=%.2f maxSTP=%.2f",
+		cmp.ByPolicy[PolicySCMPKI].OoOActiveFrac,
+		cmp.ByPolicy[PolicyMaxSTP].OoOActiveFrac)
+
+	if stpMirage <= stpMaxSTP {
+		t.Errorf("Mirage SC-MPKI STP %.2f should beat traditional maxSTP %.2f", stpMirage, stpMaxSTP)
+	}
+	if stpMaxSTP <= stpInO {
+		t.Errorf("maxSTP STP %.2f should beat Homo-InO %.2f", stpMaxSTP, stpInO)
+	}
+	if stpMirage > 1.0 {
+		t.Errorf("Mirage STP %.2f should not exceed Homo-OoO", stpMirage)
+	}
+	eMirage := cmp.ByPolicy[PolicySCMPKI].EnergyPJ / cmp.HomoOoO.EnergyPJ
+	if eMirage >= 1 {
+		t.Errorf("Mirage energy ratio %.2f should be well under Homo-OoO", eMirage)
+	}
+}

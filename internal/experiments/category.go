@@ -1,0 +1,306 @@
+// Category, fairness, area-neutral and migration-cost experiments:
+// Figures 9a, 11, 12, 13, 14 and 15.
+
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/ino"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Figure9a reports the per-structure power breakdown of the OoO, InO and
+// OinO pipelines, as percentages of each core's total, measured on a
+// representative memoizable workload.
+func Figure9a() (*Report, error) {
+	b := program.ByName("hmmer")
+	l := b.Phases[0].Loops[0]
+	h := mem.NewHierarchy()
+	co := ooo.New(h, xrand.NewString("f9a-ooo"))
+	ci := ino.New(h, xrand.NewString("f9a-ino"))
+	ws := walkersFor(l.Trace, "f9a")
+	co.MeasureTrace(l.Trace, l.Deps, ws, 120)
+	ro := co.MeasureTrace(l.Trace, l.Deps, ws, 24)
+	ri := ci.MeasureTrace(l.Trace, l.Deps, ws, 24)
+	rr := ci.MeasureReplay(l.Trace, l.Deps, ro.Schedule, ws, 24)
+
+	bO := energy.Compute(energy.KindOoO, ro.Events)
+	bI := energy.Compute(energy.KindInO, ri.Events)
+	bR := energy.Compute(energy.KindOinO, rr.Events)
+
+	r := &Report{ID: "Figure 9a",
+		Notes: "OinO adds PRF/LSQ/SC activity over InO but has no rename, ROB or scheduler; absolute power stays far below OoO"}
+	r.Table.Title = "Figure 9a: per-structure share of core power"
+	r.Table.Headers = []string{"structure", "OoO", "InO", "OinO"}
+	tO, tI, tR := bO.Total(), bI.Total(), bR.Total()
+	for s := energy.Structure(0); s < energy.NumStructures; s++ {
+		r.Table.AddRow(s.String(), stats.Pct(bO[s]/tO), stats.Pct(bI[s]/tI), stats.Pct(bR[s]/tR))
+	}
+	pI := tI / float64(ri.Events.Cycles)
+	pR := tR / float64(rr.Events.Cycles)
+	pO := tO / float64(ro.Events.Cycles)
+	r.Notes += fmt.Sprintf("; absolute power ratios: OoO/OinO=%.1f OinO/InO=%.1f", pO/pR, pR/pI)
+	return r, nil
+}
+
+// Figure11 evaluates the 8:1 configuration per benchmark category: HPD-only
+// mixes, LPD-only mixes and random mixes, reporting STP, OoO utilization
+// and energy relative to Homo-OoO for each arbitrator.
+func Figure11(s Scale) (*Report, error) {
+	r := &Report{ID: "Figure 11",
+		Notes: "HPD memoizes more and uses the OoO more; LPD saves more energy; random mixes sit between"}
+	r.Table.Title = "Figure 11: 8:1 by benchmark category"
+	r.Table.Headers = []string{"mix", "metric", "Homo-InO", "SC-MPKI", "SC-MPKI+maxSTP", "maxSTP"}
+
+	for _, kindRow := range []struct {
+		label string
+		kind  core.MixKind
+	}{
+		{"HPD", core.MixHPD},
+		{"LPD", core.MixLPD},
+		{"Random", core.MixRandom},
+	} {
+		mixes := core.RandomMixes(kindRow.kind, 8, s.MixesPerPoint, "fig11-"+kindRow.label)
+		var stp, util, egy [4]float64 // HomoInO, SCMPKI, SCMPKI+maxSTP, maxSTP
+		for mi, mix := range mixes {
+			cmp, err := core.Compare(mix, s.baseConfig(fmt.Sprintf("f11-%s-%d", kindRow.label, mi)), core.ArbitratorSet)
+			if err != nil {
+				return nil, err
+			}
+			eOoO := cmp.HomoOoO.EnergyPJ
+			stp[0] += cmp.HomoInO.STP
+			egy[0] += cmp.HomoInO.EnergyPJ / eOoO
+			for pi, pol := range []core.Policy{core.PolicySCMPKI, core.PolicySCMPKIMaxSTP, core.PolicyMaxSTP} {
+				mr := cmp.ByPolicy[pol]
+				stp[pi+1] += mr.STP
+				util[pi+1] += mr.OoOActiveFrac
+				egy[pi+1] += mr.EnergyPJ / eOoO
+			}
+		}
+		k := float64(len(mixes))
+		r.Table.AddRow(kindRow.label, "STP", stats.Pct(stp[0]/k), stats.Pct(stp[1]/k), stats.Pct(stp[2]/k), stats.Pct(stp[3]/k))
+		r.Table.AddRow(kindRow.label, "OoO util", "-", stats.Pct(util[1]/k), stats.Pct(util[2]/k), stats.Pct(util[3]/k))
+		r.Table.AddRow(kindRow.label, "energy", stats.Pct(egy[0]/k), stats.Pct(egy[1]/k), stats.Pct(egy[2]/k), stats.Pct(egy[3]/k))
+	}
+	return r, nil
+}
+
+// Figure12 reports how the OoO's active time divides among the eight
+// applications of one mix under each arbitrator: maxSTP starves most apps,
+// Fair splits evenly, SC-MPKI-fair caps every app at its 1/n share.
+func Figure12(s Scale) (*Report, error) {
+	mix := core.RandomMixes(core.MixRandom, 8, 1, "fig12")[0]
+	r := &Report{ID: "Figure 12",
+		Notes: "share of OoO-active cycles per app; SC-MPKI-fair keeps every app at or below 1/8"}
+	r.Table.Title = "Figure 12: OoO utilization per benchmark (8:1)"
+	headers := []string{"arbitrator"}
+	for i, name := range mix {
+		headers = append(headers, fmt.Sprintf("app%d:%s", i, name))
+	}
+	r.Table.Headers = headers
+
+	cmp, err := core.Compare(mix, s.baseConfig("fig12"), core.FairSet)
+	if err != nil {
+		return nil, err
+	}
+	for _, pol := range []core.Policy{core.PolicyMaxSTP, core.PolicySCMPKI, core.PolicyFair, core.PolicySCMPKIFair} {
+		mr := cmp.ByPolicy[pol]
+		row := []string{string(pol)}
+		for _, a := range mr.Cluster.Apps {
+			// Utilization of the OoO by this app, as a fraction of total
+			// time: rows need not sum to 100% — the remainder is the OoO
+			// power-gated (Section 5.3's point).
+			if mr.Cluster.RunCycles > 0 {
+				row = append(row, stats.Pct(float64(a.OoOCycles)/float64(mr.Cluster.RunCycles)))
+			} else {
+				row = append(row, "0%")
+			}
+		}
+		r.Table.AddRow(row...)
+	}
+	return r, nil
+}
+
+// OoOShares returns each app's share of total OoO time under a policy (for
+// the fairness property tests).
+func OoOShares(s Scale, mix []string, policy core.Policy, topo core.Topology) ([]float64, error) {
+	cfg := s.baseConfig("shares")
+	cfg.Topology = topo
+	cfg.Policy = policy
+	cfg.Benchmarks = mix
+	mr, err := core.RunMix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	shares := make([]float64, len(mr.Cluster.Apps))
+	for i, a := range mr.Cluster.Apps {
+		if mr.Cluster.RunCycles > 0 {
+			shares[i] = float64(a.OoOCycles) / float64(mr.Cluster.RunCycles)
+		}
+	}
+	return shares, nil
+}
+
+// Figure13 evaluates the fair arbitrators across cluster sizes:
+// performance, OoO utilization and energy relative to Homo-OoO.
+func Figure13(s Scale) (*Report, error) {
+	r := &Report{ID: "Figure 13",
+		Notes: "SC-MPKI-fair reaches Fair's balance while powering the OoO down when memoization suffices"}
+	r.Table.Title = "Figure 13: fair schedulers vs cluster size"
+	r.Table.Headers = []string{"n", "metric", "Homo-InO", "SC-MPKI-fair", "Fair"}
+	set := []struct {
+		Policy   core.Policy
+		Topology core.Topology
+	}{
+		{core.PolicySCMPKIFair, core.TopologyMirage},
+		{core.PolicyFair, core.TopologyTraditional},
+	}
+	for _, n := range s.NValues {
+		mixes := core.RandomMixes(core.MixRandom, n, s.MixesPerPoint, fmt.Sprintf("fig13-%d", n))
+		var stpI, stpSF, stpF, utilSF, utilF, eI, eSF, eF float64
+		for mi, mix := range mixes {
+			cmp, err := core.Compare(mix, s.baseConfig(fmt.Sprintf("f13-%d-%d", n, mi)), set)
+			if err != nil {
+				return nil, err
+			}
+			eOoO := cmp.HomoOoO.EnergyPJ
+			stpI += cmp.HomoInO.STP
+			eI += cmp.HomoInO.EnergyPJ / eOoO
+			sf := cmp.ByPolicy[core.PolicySCMPKIFair]
+			f := cmp.ByPolicy[core.PolicyFair]
+			stpSF += sf.STP
+			stpF += f.STP
+			utilSF += sf.OoOActiveFrac
+			utilF += f.OoOActiveFrac
+			eSF += sf.EnergyPJ / eOoO
+			eF += f.EnergyPJ / eOoO
+		}
+		k := float64(len(mixes))
+		r.Table.AddRow(fmt.Sprint(n), "performance", stats.Pct(stpI/k), stats.Pct(stpSF/k), stats.Pct(stpF/k))
+		r.Table.AddRow(fmt.Sprint(n), "utilization", "-", stats.Pct(utilSF/k), stats.Pct(utilF/k))
+		r.Table.AddRow(fmt.Sprint(n), "energy", stats.Pct(eI/k), stats.Pct(eSF/k), stats.Pct(eF/k))
+	}
+	return r, nil
+}
+
+// Figure14 is the area-neutral study: an 8:1 Mirage cluster under SC-MPKI
+// against a Kumar-style 5:3 traditional Het-CMP under maxSTP, both running
+// the same 8-application mixes.
+func Figure14(s Scale) (*Report, error) {
+	r := &Report{ID: "Figure 14",
+		Notes: "one schedule-producing OoO beats two extra OoO cores at similar area"}
+	r.Table.Title = "Figure 14: area-neutral comparison (relative to Homo-OoO)"
+	r.Table.Headers = []string{"metric", "8:1 SC-MPKI", "5:3 maxSTP"}
+
+	mixes := core.RandomMixes(core.MixRandom, 8, s.MixesPerPoint, "fig14")
+	var stpM, stpT, utilM, utilT, eM, eT float64
+	for mi, mix := range mixes {
+		base := s.baseConfig(fmt.Sprintf("f14-%d", mi))
+
+		cmp, err := core.Compare(mix, base, []struct {
+			Policy   core.Policy
+			Topology core.Topology
+		}{{core.PolicySCMPKI, core.TopologyMirage}})
+		if err != nil {
+			return nil, err
+		}
+		m := cmp.ByPolicy[core.PolicySCMPKI]
+		stpM += m.STP
+		utilM += m.OoOActiveFrac
+		eM += m.EnergyPJ / cmp.HomoOoO.EnergyPJ
+
+		tCfg := base
+		tCfg.Topology = core.TopologyTraditional
+		tCfg.Policy = core.PolicyMaxSTP
+		tCfg.Benchmarks = mix
+		tCfg.NumOoO = 3
+		tr, err := core.RunMix(tCfg)
+		if err != nil {
+			return nil, err
+		}
+		tr.STP = stats.STP(tr.PerAppIPC, cmp.RefIPC)
+		stpT += tr.STP
+		utilT += tr.OoOActiveFrac
+		eT += tr.EnergyPJ / cmp.HomoOoO.EnergyPJ
+	}
+	k := float64(len(mixes))
+	areaM := core.Area(core.TopologyMirage, 8) / core.Area(core.TopologyHomoOoO, 8)
+	areaT := core.AreaK(core.TopologyTraditional, 5, 3) / core.Area(core.TopologyHomoOoO, 8)
+	r.Table.AddRow("performance", stats.Pct(stpM/k), stats.Pct(stpT/k))
+	r.Table.AddRow("utilization", stats.Pct(utilM/k), stats.Pct(utilT/k))
+	r.Table.AddRow("energy", stats.Pct(eM/k), stats.Pct(eT/k))
+	r.Table.AddRow("area", stats.Pct(areaM), stats.Pct(areaT))
+	return r, nil
+}
+
+// Figure14Numbers returns the area-neutral STP/energy pair for tests.
+func Figure14Numbers(s Scale) (stpMirage, stpTrad, energyMirage, energyTrad float64, err error) {
+	rep, err := Figure14(s)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	parse := func(cell string) float64 {
+		var v float64
+		fmt.Sscanf(cell, "%f%%", &v)
+		return v / 100
+	}
+	rows := rep.Table.Rows
+	return parse(rows[0][1]), parse(rows[0][2]), parse(rows[2][1]), parse(rows[2][2]), nil
+}
+
+// Figure15 reports migration transfer costs as a fraction of execution time
+// plus migration frequency, per benchmark category, for 8:1 SC-MPKI runs.
+func Figure15(s Scale) (*Report, error) {
+	r := &Report{ID: "Figure 15",
+		Notes: "HPD migrates more often (schedule production); overall transfer overhead stays well under 1%"}
+	r.Table.Title = "Figure 15: migration transfer costs (8:1, SC-MPKI)"
+	r.Table.Headers = []string{"mix", "SC transfer", "L1 refill", "migrations/100 intervals", "overhead"}
+
+	for _, kindRow := range []struct {
+		label string
+		kind  core.MixKind
+	}{
+		{"HPD", core.MixHPD},
+		{"LPD", core.MixLPD},
+		{"Random", core.MixRandom},
+	} {
+		mixes := core.RandomMixes(kindRow.kind, 8, s.MixesPerPoint, "fig15-"+kindRow.label)
+		var scFrac, l1Frac, freq float64
+		var samples float64
+		for mi, mix := range mixes {
+			cfg := s.baseConfig(fmt.Sprintf("f15-%s-%d", kindRow.label, mi))
+			cfg.Topology = core.TopologyMirage
+			cfg.Policy = core.PolicySCMPKI
+			cfg.Benchmarks = mix
+			mr, err := core.RunMix(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range mr.Cluster.Apps {
+				if a.Cycles == 0 {
+					continue
+				}
+				scFrac += float64(a.SCTransferCycles) / float64(a.Cycles)
+				l1Frac += float64(a.L1RefillCycles) / float64(a.Cycles)
+				freq += float64(a.Migrations) * 100 * float64(s.IntervalCycles) / float64(a.Cycles)
+				samples++
+			}
+		}
+		if samples == 0 {
+			continue
+		}
+		r.Table.AddRow(kindRow.label,
+			fmt.Sprintf("%.3f%%", 100*scFrac/samples),
+			fmt.Sprintf("%.3f%%", 100*l1Frac/samples),
+			stats.F(freq/samples),
+			fmt.Sprintf("%.3f%%", 100*(scFrac+l1Frac)/samples))
+	}
+	return r, nil
+}

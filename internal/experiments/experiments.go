@@ -1,0 +1,239 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5 plus the motivation figures of Section 2). Each
+// ExperimentN function returns a Report: named series of rows that print as
+// a text table matching the figure's axes. The cmd/mirageexp binary and the
+// repository's benchmark harness both drive these entry points.
+//
+// Absolute magnitudes depend on the synthetic workload substitution
+// (DESIGN.md §2); the assertions the test suite makes are about shape:
+// orderings, ratios and crossover points the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Scale sets how big the simulated runs are. Quick keeps every experiment
+// in CI-friendly time; Full is closer to the paper's operating point.
+type Scale struct {
+	Name           string
+	TargetInsts    int64
+	IntervalCycles int64
+	// MixesPerPoint is how many workload mixes are averaged per data point.
+	MixesPerPoint int
+	// NValues are the InO-per-OoO cluster sizes swept (Figures 6-9, 13).
+	NValues []int
+	// TimelineIntervals is the length of timeline case studies (Figs 5/10).
+	TimelineIntervals int
+}
+
+// QuickScale runs every experiment in seconds-to-minutes.
+var QuickScale = Scale{
+	Name:              "quick",
+	TargetInsts:       2_000_000,
+	IntervalCycles:    40_000,
+	MixesPerPoint:     2,
+	NValues:           []int{4, 8, 12, 16},
+	TimelineIntervals: 120,
+}
+
+// FullScale is the default for the experiment binary.
+var FullScale = Scale{
+	Name:              "full",
+	TargetInsts:       6_000_000,
+	IntervalCycles:    80_000,
+	MixesPerPoint:     4,
+	NValues:           []int{4, 8, 12, 16},
+	TimelineIntervals: 300,
+}
+
+func (s Scale) baseConfig(seed string) core.Config {
+	return core.Config{
+		TargetInsts:    s.TargetInsts,
+		IntervalCycles: s.IntervalCycles,
+		Seed:           seed,
+	}
+}
+
+// Report is a printable experiment result.
+type Report struct {
+	ID    string // "Figure 7", "Table 1", ...
+	Notes string
+	Table stats.Table
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	s := r.Table.String()
+	if r.Notes != "" {
+		s += "note: " + r.Notes + "\n"
+	}
+	return s
+}
+
+// sweepPoint is one (n, policy) observation averaged over mixes.
+type sweepPoint struct {
+	stp       float64 // relative to Homo-OoO
+	energy    float64 // relative to Homo-OoO
+	oooActive float64 // fraction of wall cycles
+}
+
+// sweepResult caches the Figures 7/8/9b sweep so one simulation pass feeds
+// all three reports.
+type sweepResult struct {
+	n        []int
+	homoInO  []sweepPoint
+	byPolicy map[core.Policy][]sweepPoint
+}
+
+var sweepCache = map[string]*sweepResult{}
+
+// runSweep simulates the arbitrator line-up across cluster sizes.
+func runSweep(s Scale) (*sweepResult, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d", s.Name, s.TargetInsts, s.IntervalCycles, s.MixesPerPoint)
+	if r, ok := sweepCache[key]; ok {
+		return r, nil
+	}
+	res := &sweepResult{byPolicy: make(map[core.Policy][]sweepPoint)}
+	for _, n := range s.NValues {
+		mixes := core.RandomMixes(core.MixRandom, n, s.MixesPerPoint, fmt.Sprintf("sweep-n%d", n))
+		var inO sweepPoint
+		acc := map[core.Policy]*sweepPoint{}
+		for _, pt := range core.ArbitratorSet {
+			acc[pt.Policy] = &sweepPoint{}
+		}
+		for mi, mix := range mixes {
+			cmp, err := core.Compare(mix, s.baseConfig(fmt.Sprintf("sw-%d-%d", n, mi)), core.ArbitratorSet)
+			if err != nil {
+				return nil, err
+			}
+			eOoO := cmp.HomoOoO.EnergyPJ
+			inO.stp += cmp.HomoInO.STP
+			inO.energy += cmp.HomoInO.EnergyPJ / eOoO
+			for _, pt := range core.ArbitratorSet {
+				mr := cmp.ByPolicy[pt.Policy]
+				acc[pt.Policy].stp += mr.STP
+				acc[pt.Policy].energy += mr.EnergyPJ / eOoO
+				acc[pt.Policy].oooActive += mr.OoOActiveFrac
+			}
+		}
+		k := float64(len(mixes))
+		res.n = append(res.n, n)
+		res.homoInO = append(res.homoInO, sweepPoint{stp: inO.stp / k, energy: inO.energy / k})
+		for _, pt := range core.ArbitratorSet {
+			p := acc[pt.Policy]
+			res.byPolicy[pt.Policy] = append(res.byPolicy[pt.Policy],
+				sweepPoint{stp: p.stp / k, energy: p.energy / k, oooActive: p.oooActive / k})
+		}
+	}
+	sweepCache[key] = res
+	return res, nil
+}
+
+// Figure7 reports STP relative to a Homo-OoO CMP for each arbitrator across
+// cluster sizes (the throughput-aware arbitration comparison).
+func Figure7(s Scale) (*Report, error) {
+	sw, err := runSweep(s)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:    "Figure 7",
+		Notes: "STP relative to Homo-OoO; paper shape: Homo-InO < maxSTP < SC-MPKI ~= SC-MPKI+maxSTP",
+	}
+	r.Table.Title = "Figure 7: STP relative to Homo-OoO vs InO cores per OoO"
+	r.Table.Headers = []string{"n", "Homo-InO", "SC-MPKI", "SC-MPKI+maxSTP", "maxSTP"}
+	for i, n := range sw.n {
+		r.Table.AddRow(fmt.Sprint(n),
+			stats.Pct(sw.homoInO[i].stp),
+			stats.Pct(sw.byPolicy[core.PolicySCMPKI][i].stp),
+			stats.Pct(sw.byPolicy[core.PolicySCMPKIMaxSTP][i].stp),
+			stats.Pct(sw.byPolicy[core.PolicyMaxSTP][i].stp))
+	}
+	return r, nil
+}
+
+// Figure8 reports relative energy consumption for the same sweep.
+func Figure8(s Scale) (*Report, error) {
+	sw, err := runSweep(s)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:    "Figure 8",
+		Notes: "energy relative to Homo-OoO; savings shrink as n grows and OoO contention rises",
+	}
+	r.Table.Title = "Figure 8: energy relative to Homo-OoO vs InO cores per OoO"
+	r.Table.Headers = []string{"n", "Homo-InO", "SC-MPKI", "SC-MPKI+maxSTP", "maxSTP"}
+	for i, n := range sw.n {
+		r.Table.AddRow(fmt.Sprint(n),
+			stats.Pct(sw.homoInO[i].energy),
+			stats.Pct(sw.byPolicy[core.PolicySCMPKI][i].energy),
+			stats.Pct(sw.byPolicy[core.PolicySCMPKIMaxSTP][i].energy),
+			stats.Pct(sw.byPolicy[core.PolicyMaxSTP][i].energy))
+	}
+	return r, nil
+}
+
+// Figure9b reports the fraction of cycles the OoO was active per arbitrator
+// and cluster size.
+func Figure9b(s Scale) (*Report, error) {
+	sw, err := runSweep(s)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:    "Figure 9b",
+		Notes: "SC-MPKI powers the OoO down when no memoization is pending; maxSTP never does",
+	}
+	r.Table.Title = "Figure 9b: %% cycles the OoO was active"
+	r.Table.Headers = []string{"n", "SC-MPKI", "SC-MPKI+maxSTP", "maxSTP"}
+	for i, n := range sw.n {
+		r.Table.AddRow(fmt.Sprint(n),
+			stats.Pct(sw.byPolicy[core.PolicySCMPKI][i].oooActive),
+			stats.Pct(sw.byPolicy[core.PolicySCMPKIMaxSTP][i].oooActive),
+			stats.Pct(sw.byPolicy[core.PolicyMaxSTP][i].oooActive))
+	}
+	return r, nil
+}
+
+// Headline reports the abstract's numbers for the 8:1 configuration plus
+// the scaling knee where OoO starvation saturates.
+func Headline(s Scale) (*Report, error) {
+	sw, err := runSweep(s)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "Headline",
+		Notes: "paper: 84% of 8-OoO performance, ~55% energy saving, ~25% area saving; knee near 12:1"}
+	r.Table.Title = "Headline: Mirage 8:1 vs Homo-OoO (paper: 84% perf, 45% energy, 74% area)"
+	r.Table.Headers = []string{"metric", "Mirage(SC-MPKI)", "paper"}
+	idx8 := -1
+	for i, n := range sw.n {
+		if n == 8 {
+			idx8 = i
+		}
+	}
+	if idx8 < 0 {
+		return nil, fmt.Errorf("headline: scale does not sweep n=8")
+	}
+	p8 := sw.byPolicy[core.PolicySCMPKI][idx8]
+	area := core.Area(core.TopologyMirage, 8) / core.Area(core.TopologyHomoOoO, 8)
+	r.Table.AddRow("performance", stats.Pct(p8.stp), "84%")
+	r.Table.AddRow("energy", stats.Pct(p8.energy), "45%")
+	r.Table.AddRow("area", stats.Pct(area), "74%")
+	// Scaling knee: first n where the SC-MPKI arbitrator's OoO is active
+	// nearly all the time (starvation sets in).
+	knee := sw.n[len(sw.n)-1]
+	for i, n := range sw.n {
+		if sw.byPolicy[core.PolicySCMPKI][i].oooActive > 0.95 {
+			knee = n
+			break
+		}
+	}
+	r.Table.AddRow("scaling knee (n)", fmt.Sprint(knee), "12")
+	return r, nil
+}

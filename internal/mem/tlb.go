@@ -1,0 +1,66 @@
+// TLB model: per-core instruction and data translation lookaside buffers
+// (Section 3.1: "Each core has its own L1 Instruction and Data caches, and
+// Translation Lookaside Buffers"). Migrating an application leaves the
+// destination core's TLBs cold, adding page-walk latency to the warmup
+// cost the paper attributes to stateful structures.
+
+package mem
+
+// TLB geometry and costs: a 64-entry fully-associative LRU TLB over 4 KB
+// pages, with a fixed-cost hardware page walk on a miss.
+const (
+	TLBEntries   = 64
+	PageBytes    = 4 << 10
+	PageWalkCost = 20 // cycles; walks mostly hit the L2
+	pageShift    = 12
+)
+
+// TLB is a fully-associative, LRU translation buffer.
+type TLB struct {
+	pages  map[uint64]uint64 // page -> last use tick
+	tick   uint64
+	hits   uint64
+	misses uint64
+}
+
+// NewTLB returns an empty TLB.
+func NewTLB() *TLB {
+	return &TLB{pages: make(map[uint64]uint64, TLBEntries)}
+}
+
+// Access translates addr, returning the added latency (0 on a hit, the
+// page-walk cost on a miss).
+func (t *TLB) Access(addr uint64) int {
+	t.tick++
+	page := addr >> pageShift
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.tick
+		t.hits++
+		return 0
+	}
+	t.misses++
+	if len(t.pages) >= TLBEntries {
+		var victim uint64
+		oldest := t.tick + 1
+		for p, use := range t.pages {
+			if use < oldest {
+				oldest = use
+				victim = p
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.tick
+	return PageWalkCost
+}
+
+// Flush empties the TLB (core migration).
+func (t *TLB) Flush() {
+	t.pages = make(map[uint64]uint64, TLBEntries)
+}
+
+// Stats returns hit and miss counts.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// Len returns the number of resident translations.
+func (t *TLB) Len() int { return len(t.pages) }

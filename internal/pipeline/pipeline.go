@@ -1,0 +1,560 @@
+// Package pipeline contains the cycle-level issue simulator shared by the
+// three core models. One engine, three issue policies:
+//
+//   - Dataflow: the OoO backend — instructions issue oldest-ready-first out
+//     of a ROB-limited window (wakeup/select), overlapping loop iterations.
+//   - ProgramOrder: the InO backend — strict in-order, stall-on-use issue.
+//   - RecordedOrder: the OinO mode — in-order stall-on-use issue, but in the
+//     order a memoized OoO schedule dictates rather than program order.
+//
+// All three respect the same functional-unit pools and superscalar width
+// (Section 4.2: the InO has the same width and FUs as the OoO so schedules
+// transfer directly), the same register dependences, and per-dynamic-load
+// latencies supplied by the memory hierarchy.
+package pipeline
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Policy selects the issue order rule.
+type Policy uint8
+
+const (
+	// Dataflow is OoO wakeup/select issue inside a ROB window.
+	Dataflow Policy = iota
+	// ProgramOrder is in-order, stall-on-use issue.
+	ProgramOrder
+	// RecordedOrder is in-order stall-on-use issue following a memoized
+	// schedule's order.
+	RecordedOrder
+)
+
+// Request describes one trace-execution simulation: how many back-to-back
+// iterations of the trace to run and under which policy.
+type Request struct {
+	Trace *trace.Trace
+	Deps  *trace.DepGraph
+	// Iterations is the number of consecutive trace iterations to simulate.
+	Iterations int
+	Policy     Policy
+	// Order is the issue order for RecordedOrder, covering ProbeSpan
+	// consecutive iterations (len(Order) == ProbeSpan * len(Trace.Insts)).
+	Order []uint16
+	// ProbeSpan is how many consecutive iterations one schedule unit
+	// covers. Recording across iterations preserves the OoO's
+	// cross-iteration overlap, which in-order replay needs (see
+	// ooo.ScheduleSpan). Defaults to 1.
+	ProbeSpan int
+
+	Width  int
+	Window int // ROB capacity; used by Dataflow only
+	// MispredictPenalty is the front-end refill depth charged after a
+	// mispredicted trace-terminating branch.
+	MispredictPenalty int
+
+	// LoadLatency returns the latency of the k-th dynamic load overall
+	// (caller resolves it against the cache hierarchy). If nil, all loads
+	// take the L1-hit latency.
+	LoadLatency func(loadSeq int) int
+	// Mispredicts reports whether the terminating branch of iteration i
+	// mispredicts. If nil, no branch ever mispredicts.
+	Mispredicts func(iter int) bool
+	// FetchGate returns extra cycles gating the start of iteration i
+	// (instruction-cache or Schedule-Cache miss stalls). May be nil.
+	FetchGate func(iter int) int
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// Cycles is the cycle at which the last instruction completed.
+	Cycles int
+	// IterEnd[i] is the completion cycle of iteration i's last instruction.
+	IterEnd []int
+	// IssueOrder is the issue order observed for the probe block (ProbeSpan
+	// iterations out of the middle of the run). Entries index into the
+	// block: value it*len(Trace.Insts)+j is instruction j of the block's
+	// it-th iteration.
+	IssueOrder []uint16
+	// Reordered counts probe-block instructions issued before an older
+	// instruction of the same block.
+	Reordered int
+	// Issued is the total number of instructions issued.
+	Issued int
+	// FUBusy[f] accumulates issue events per functional-unit pool (an
+	// energy proxy).
+	FUBusy [isa.NumFUs]uint64
+	// LoadStallCycles estimates cycles the issue stage spent unable to
+	// issue anything (an energy/utilization proxy).
+	LoadStallCycles int
+}
+
+// SteadyCyclesPerIter returns the marginal cycles per iteration measured
+// over the back half of the run, where caches and iteration overlap have
+// reached steady state.
+func (r *Result) SteadyCyclesPerIter() float64 {
+	n := len(r.IterEnd)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return float64(r.IterEnd[0])
+	}
+	half := n / 2
+	span := r.IterEnd[n-1] - r.IterEnd[half-1]
+	iters := n - half
+	if span <= 0 || iters <= 0 {
+		return float64(r.IterEnd[n-1]) / float64(n)
+	}
+	return float64(span) / float64(iters)
+}
+
+// dynamic instruction state.
+type dyn struct {
+	static   int // index within the trace
+	iter     int
+	lat      int
+	issued   int // cycle issued, -1 before
+	complete int
+	numPreds int   // unresolved predecessor count is tracked via readyAt
+	readyAt  int   // max completion over predecessors (computed on the fly)
+	preds    []int // indexes into the dyn slice
+}
+
+// fuState tracks per-pool unit occupancy. Pipelined ops occupy a unit for
+// the issue cycle only; unpipelined ops (divides) hold it for their latency.
+type fuState struct {
+	busyUntil [isa.NumFUs][]int
+	issuedAt  [isa.NumFUs][]int
+}
+
+func newFUState() *fuState {
+	f := &fuState{}
+	for u := isa.FU(0); u < isa.NumFUs; u++ {
+		n := isa.FUCount[u]
+		f.busyUntil[u] = make([]int, n)
+		f.issuedAt[u] = make([]int, n)
+		for i := 0; i < n; i++ {
+			f.issuedAt[u][i] = -1
+		}
+	}
+	return f
+}
+
+// tryIssue claims a unit of class c at the given cycle. Returns false if no
+// unit is free this cycle.
+func (f *fuState) tryIssue(c isa.Class, cycle int) bool {
+	u := isa.UnitFor(c)
+	units := f.busyUntil[u]
+	for i := range units {
+		if units[i] <= cycle && f.issuedAt[u][i] != cycle {
+			f.issuedAt[u][i] = cycle
+			if !isa.Pipelined[c] {
+				units[i] = cycle + isa.Latency[c]
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Run simulates the request and returns the result. It panics on malformed
+// requests (simulator-internal misuse, not user input).
+func Run(req Request) Result {
+	t := req.Trace
+	if t == nil || len(t.Insts) == 0 || req.Iterations <= 0 {
+		return Result{}
+	}
+	n := len(t.Insts)
+	if req.Width <= 0 {
+		req.Width = isa.IssueWidth
+	}
+	if req.Policy == Dataflow && req.Window <= 0 {
+		req.Window = isa.ROBSize
+	}
+	if req.ProbeSpan <= 0 {
+		req.ProbeSpan = 1
+	}
+	if req.ProbeSpan > req.Iterations {
+		req.ProbeSpan = req.Iterations
+	}
+	if req.Policy == RecordedOrder {
+		if len(req.Order) != n*req.ProbeSpan {
+			panic("pipeline: RecordedOrder requires a full probe-span order")
+		}
+		if req.Iterations%req.ProbeSpan != 0 {
+			req.Iterations += req.ProbeSpan - req.Iterations%req.ProbeSpan
+		}
+	}
+
+	total := n * req.Iterations
+	dyns := make([]dyn, total)
+	loadSeq := 0
+	for it := 0; it < req.Iterations; it++ {
+		for j := 0; j < n; j++ {
+			d := &dyns[it*n+j]
+			d.static = j
+			d.iter = it
+			d.issued = -1
+			in := t.Insts[j]
+			d.lat = isa.Latency[in.Op]
+			if in.Op == isa.Load && req.LoadLatency != nil {
+				d.lat = req.LoadLatency(loadSeq)
+				loadSeq++
+			}
+			for _, p := range req.Deps.Preds[j] {
+				d.preds = append(d.preds, it*n+p)
+			}
+			if it > 0 {
+				for _, p := range req.Deps.CarriedPreds[j] {
+					d.preds = append(d.preds, (it-1)*n+p)
+				}
+			}
+		}
+	}
+
+	res := Result{IterEnd: make([]int, req.Iterations)}
+	switch req.Policy {
+	case Dataflow:
+		runDataflow(req, dyns, &res)
+	default:
+		runInOrder(req, dyns, &res)
+	}
+	span := req.ProbeSpan
+	probe := (req.Iterations / 2 / span) * span
+	if probe+span > req.Iterations {
+		probe = req.Iterations - span
+	}
+	extractProbe(dyns[probe*n:(probe+span)*n], &res)
+	return res
+}
+
+// readyTime returns the earliest cycle d can issue given its predecessors.
+func readyTime(dyns []dyn, d *dyn) int {
+	ready := 0
+	for _, p := range d.preds {
+		pd := &dyns[p]
+		if pd.issued < 0 {
+			return -1 // predecessor not even issued yet
+		}
+		if pd.complete > ready {
+			ready = pd.complete
+		}
+	}
+	return ready
+}
+
+func runDataflow(req Request, dyns []dyn, res *Result) {
+	t := req.Trace
+	n := len(t.Insts)
+	total := len(dyns)
+	fus := newFUState()
+
+	dispatched := 0 // next undipatched index
+	retired := 0
+	issuedCount := 0
+	// iterGate[i] is the earliest cycle iteration i may begin dispatching
+	// (branch mispredict redirect or fetch stall).
+	iterGate := make([]int, req.Iterations)
+	if req.FetchGate != nil {
+		iterGate[0] = req.FetchGate(0)
+	}
+	cycle := 0
+	// inflight holds dispatched, unissued instruction indexes in age order.
+	inflight := make([]int, 0, req.Window+req.Width)
+
+	for retired < total {
+		// Retire in order (commit width = issue width).
+		for c := 0; c < req.Width && retired < total; c++ {
+			d := &dyns[retired]
+			if d.issued >= 0 && d.complete <= cycle {
+				retired++
+			} else {
+				break
+			}
+		}
+
+		// Dispatch into the window.
+		for c := 0; c < req.Width && dispatched < total; c++ {
+			d := &dyns[dispatched]
+			if dispatched-retired >= req.Window {
+				break
+			}
+			if cycle < iterGate[d.iter] {
+				break
+			}
+			inflight = append(inflight, dispatched)
+			dispatched++
+		}
+
+		// Issue oldest-ready-first.
+		issuedThis := 0
+		for i := 0; i < len(inflight) && issuedThis < req.Width; i++ {
+			idx := inflight[i]
+			d := &dyns[idx]
+			rt := readyTime(dyns, d)
+			if rt < 0 || rt > cycle {
+				continue
+			}
+			in := t.Insts[d.static]
+			if !fus.tryIssue(in.Op, cycle) {
+				continue
+			}
+			d.issued = cycle
+			d.complete = cycle + d.lat
+			res.FUBusy[isa.UnitFor(in.Op)]++
+			issuedThis++
+			issuedCount++
+			inflight = append(inflight[:i], inflight[i+1:]...)
+			i--
+			// Terminating branch: resolve redirect for the next iteration.
+			if d.static == n-1 && d.iter+1 < req.Iterations {
+				gate := 0
+				if req.Mispredicts != nil && req.Mispredicts(d.iter) {
+					gate = d.complete + req.MispredictPenalty
+				}
+				if req.FetchGate != nil {
+					if fg := req.FetchGate(d.iter + 1); cycle+fg > gate {
+						gate = cycle + fg
+					}
+				}
+				if gate > iterGate[d.iter+1] {
+					iterGate[d.iter+1] = gate
+				}
+			}
+			if d.static == n-1 {
+				res.IterEnd[d.iter] = d.complete
+			}
+		}
+		if issuedThis == 0 && len(inflight) > 0 {
+			res.LoadStallCycles++
+		}
+		cycle++
+		if cycle > 1<<26 {
+			panic("pipeline: dataflow simulation did not converge")
+		}
+	}
+	res.Issued = issuedCount
+	res.Cycles = 0
+	for i := range dyns {
+		if dyns[i].complete > res.Cycles {
+			res.Cycles = dyns[i].complete
+		}
+	}
+	finalizeIterEnds(dyns, len(t.Insts), res)
+}
+
+func runInOrder(req Request, dyns []dyn, res *Result) {
+	t := req.Trace
+	n := len(t.Insts)
+	fus := newFUState()
+	issuedCount := 0
+	cycle := 0
+	gate := 0
+	if req.FetchGate != nil {
+		gate = req.FetchGate(0)
+	}
+
+	// order of dynamic issue: program order or recorded order per iteration.
+	seq := make([]int, 0, len(dyns))
+	if req.Policy == RecordedOrder {
+		span := req.ProbeSpan
+		for g := 0; g < req.Iterations/span; g++ {
+			base := g * span * n
+			for _, pos := range req.Order {
+				seq = append(seq, base+int(pos))
+			}
+		}
+	} else {
+		for i := range dyns {
+			seq = append(seq, i)
+		}
+	}
+
+	next := 0
+	for next < len(seq) {
+		if cycle < gate {
+			cycle = gate
+		}
+		issuedThis := 0
+		for issuedThis < req.Width && next < len(seq) {
+			d := &dyns[seq[next]]
+			rt := readyTime(dyns, d)
+			if rt < 0 {
+				panic("pipeline: in-order issue saw unissued predecessor")
+			}
+			if rt > cycle {
+				break // stall-on-use: strictly stop at first stalled inst
+			}
+			in := t.Insts[d.static]
+			if !fus.tryIssue(in.Op, cycle) {
+				break
+			}
+			d.issued = cycle
+			d.complete = cycle + d.lat
+			res.FUBusy[isa.UnitFor(in.Op)]++
+			issuedThis++
+			issuedCount++
+
+			if d.static == n-1 {
+				res.IterEnd[d.iter] = d.complete
+				if d.iter+1 < req.Iterations {
+					g := 0
+					if req.Mispredicts != nil && req.Mispredicts(d.iter) {
+						g = d.complete + req.MispredictPenalty
+					}
+					if req.FetchGate != nil {
+						if fg := req.FetchGate(d.iter + 1); cycle+fg > g {
+							g = cycle + fg
+						}
+					}
+					if g > gate {
+						gate = g
+					}
+				}
+			}
+			next++
+		}
+		if issuedThis == 0 {
+			res.LoadStallCycles++
+			// Jump to the earliest cycle something can proceed.
+			d := &dyns[seq[next]]
+			rt := readyTime(dyns, d)
+			if rt > cycle {
+				cycle = rt
+				continue
+			}
+			cycle++
+			if cycle > 1<<26 {
+				panic("pipeline: in-order simulation did not converge")
+			}
+			continue
+		}
+		cycle++
+	}
+	res.Issued = issuedCount
+	res.Cycles = 0
+	for i := range dyns {
+		if dyns[i].complete > res.Cycles {
+			res.Cycles = dyns[i].complete
+		}
+	}
+	finalizeIterEnds(dyns, n, res)
+}
+
+// finalizeIterEnds makes IterEnd reflect the completion of every
+// instruction in the iteration, not just the terminating branch.
+func finalizeIterEnds(dyns []dyn, n int, res *Result) {
+	iters := len(dyns) / n
+	for it := 0; it < iters; it++ {
+		end := 0
+		for j := 0; j < n; j++ {
+			if c := dyns[it*n+j].complete; c > end {
+				end = c
+			}
+		}
+		res.IterEnd[it] = end
+	}
+}
+
+// extractProbe derives the issue order and reorder count of one probe block
+// (ProbeSpan iterations). Block positions are it*n+j for instruction j of
+// the block's it-th iteration.
+func extractProbe(blockDyns []dyn, res *Result) {
+	n := len(blockDyns)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by (issue cycle, block position) — stable, tiny n.
+	for i := 1; i < n; i++ {
+		for k := i; k > 0; k-- {
+			a, b := &blockDyns[order[k-1]], &blockDyns[order[k]]
+			if a.issued > b.issued || (a.issued == b.issued && order[k-1] > order[k]) {
+				order[k-1], order[k] = order[k], order[k-1]
+			} else {
+				break
+			}
+		}
+	}
+	res.IssueOrder = make([]uint16, n)
+	maxSeen := -1
+	for k, idx := range order {
+		res.IssueOrder[k] = uint16(idx)
+		if idx < maxSeen {
+			res.Reordered++
+		}
+		if idx > maxSeen {
+			maxSeen = idx
+		}
+	}
+}
+
+// MaxLiveVersions computes, for a schedule order over a block of one or
+// more unrolled trace iterations, the maximum number of simultaneously-live
+// renamed versions any architectural register needs during replay. OinO
+// hardware caps this at isa.OinOMaxVersions. Block position p corresponds
+// to instruction p % len(t.Insts) of iteration p / len(t.Insts).
+func MaxLiveVersions(t *trace.Trace, order []uint16) int {
+	n := len(order) // block length (span * trace length)
+	inst := func(p int) isa.Inst { return t.Insts[p%len(t.Insts)] }
+	pos := make([]int, n) // schedule position of each block position
+	for k, s := range order {
+		pos[s] = k
+	}
+	// For each register, collect writer lifetimes in schedule positions:
+	// a version is live from its write position until the last read of that
+	// version (or end of trace for values carried out).
+	type life struct{ start, end int }
+	lives := make(map[isa.Reg][]life)
+	lastWrite := make(map[isa.Reg]int) // block position of last writer in program order
+	writeEnd := make(map[int]int)      // block writer position -> last reader schedule pos
+
+	for j := 0; j < n; j++ {
+		in := inst(j)
+		for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
+			if !src.Valid() {
+				continue
+			}
+			if w, ok := lastWrite[src]; ok {
+				if pos[j] > writeEnd[w] {
+					writeEnd[w] = pos[j]
+				}
+			}
+		}
+		if in.HasDst() {
+			lastWrite[in.Dst] = j
+		}
+	}
+	for j := 0; j < n; j++ {
+		in := inst(j)
+		if !in.HasDst() {
+			continue
+		}
+		end, ok := writeEnd[j]
+		if !ok {
+			end = pos[j]
+		}
+		if lastWrite[in.Dst] == j {
+			end = n // carried out of the block: live until replay end
+		}
+		lives[in.Dst] = append(lives[in.Dst], life{start: pos[j], end: end})
+	}
+	maxV := 1
+	for _, ls := range lives {
+		// Sweep: count overlapping lifetimes.
+		for _, a := range ls {
+			overlap := 0
+			for _, b := range ls {
+				if b.start <= a.start && a.start <= b.end {
+					overlap++
+				}
+			}
+			if overlap > maxV {
+				maxV = overlap
+			}
+		}
+	}
+	return maxV
+}

@@ -1,0 +1,77 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/ino"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// measureRatio runs every loop of every phase of b on a fresh OoO and a
+// fresh InO core and returns the weighted InO/OoO IPC ratio plus raw IPCs.
+func measureRatio(tb testing.TB, b *Benchmark) (ratio, ipcOoO, ipcInO float64) {
+	tb.Helper()
+	var cycO, cycI, insts float64
+	for _, ph := range b.Phases {
+		for _, l := range ph.Loops {
+			hO := mem.NewHierarchy()
+			hI := mem.NewHierarchy()
+			co := ooo.New(hO, xrand.NewString("calib-ooo-"+b.Name))
+			ci := ino.New(hI, xrand.NewString("calib-ino-"+b.Name))
+			wO := makeWalkers(l.Trace, "o")
+			wI := makeWalkers(l.Trace, "i")
+			// Warm the caches over many iterations (steady-state loops have
+			// their working sets resident), then measure steady state.
+			co.MeasureTrace(l.Trace, l.Deps, wO, 150)
+			ci.MeasureTrace(l.Trace, l.Deps, wI, 150)
+			ro := co.MeasureTrace(l.Trace, l.Deps, wO, 12)
+			ri := ci.MeasureTrace(l.Trace, l.Deps, wI, 12)
+			n := float64(l.Trace.Len()) * l.Weight
+			insts += n
+			cycO += ro.CyclesPerIter * l.Weight
+			cycI += ri.CyclesPerIter * l.Weight
+		}
+	}
+	ipcOoO = insts / cycO
+	ipcInO = insts / cycI
+	return ipcInO / ipcOoO, ipcOoO, ipcInO
+}
+
+func makeWalkers(t *trace.Trace, tag string) []*mem.Walker {
+	ws := make([]*mem.Walker, len(t.Streams))
+	for i, s := range t.Streams {
+		ws[i] = mem.NewWalker(s, xrand.NewString(tag))
+	}
+	return ws
+}
+
+// TestSuiteCategoryCalibration verifies the Table 1 classification emerges
+// from the generated workloads: HPD benchmarks below the 60% IPC-ratio
+// threshold, LPD benchmarks at or above it.
+func TestSuiteCategoryCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			ratio, ipcO, ipcI := measureRatio(t, b)
+			t.Logf("%-12s ratio=%.2f ipcOoO=%.2f ipcInO=%.2f want=%v",
+				b.Name, ratio, ipcO, ipcI, b.Params.Category)
+			const slack = 0.06
+			switch b.Params.Category {
+			case HPD:
+				if ratio >= 0.60+slack {
+					t.Errorf("HPD benchmark %s has IPC ratio %.2f (want < 0.60)", b.Name, ratio)
+				}
+			case LPD:
+				if ratio < 0.60-slack {
+					t.Errorf("LPD benchmark %s has IPC ratio %.2f (want >= 0.60)", b.Name, ratio)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/ino"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/xrand"
+)
+
+// TestPowerCalibration pins per-mode power and per-iteration energy for a
+// representative memoizable trace, end-to-end through the real engines:
+// the paper reports OoO ~2.1x OinO and OinO ~2.4x InO power, and OinO
+// energy well below both alternatives for the same work.
+func TestPowerCalibration(t *testing.T) {
+	b := ByName("hmmer")
+	l := b.Phases[0].Loops[0]
+	h := mem.NewHierarchy()
+	co := ooo.New(h, xrand.NewString("p-ooo"))
+	ci := ino.New(h, xrand.NewString("p-ino"))
+	ws := makeWalkers(l.Trace, "p")
+	co.MeasureTrace(l.Trace, l.Deps, ws, 150)
+	ro := co.MeasureTrace(l.Trace, l.Deps, ws, 24)
+	ri := ci.MeasureTrace(l.Trace, l.Deps, ws, 24)
+	rr := ci.MeasureReplay(l.Trace, l.Deps, ro.Schedule, ws, 24)
+
+	eO := energy.Compute(energy.KindOoO, ro.Events)
+	eI := energy.Compute(energy.KindInO, ri.Events)
+	eR := energy.Compute(energy.KindOinO, rr.Events)
+	pO := eO.Total() / float64(ro.Events.Cycles)
+	pI := eI.Total() / float64(ri.Events.Cycles)
+	pR := eR.Total() / float64(rr.Events.Cycles)
+	t.Logf("power pJ/cyc: OoO=%.1f InO=%.1f OinO=%.1f | OoO/OinO=%.2f OinO/InO=%.2f OoO/InO=%.2f",
+		pO, pI, pR, pO/pR, pR/pI, pO/pI)
+	t.Logf("energy/iter: OoO=%.0f InO=%.0f OinO=%.0f | OinO/OoO=%.2f InO/OoO=%.2f",
+		eO.Total()/24, eI.Total()/24, eR.Total()/24, eR.Total()/eO.Total(), eI.Total()/eO.Total())
+	t.Logf("cyc/iter: OoO=%.1f InO=%.1f OinO=%.1f", ro.CyclesPerIter, ri.CyclesPerIter, rr.CyclesPerIter)
+
+	if r := pO / pR; r < 1.8 || r > 3.5 {
+		t.Errorf("OoO/OinO power ratio %.2f outside [1.8, 3.5] (paper: 2.1)", r)
+	}
+	if r := pR / pI; r < 1.5 || r > 3.0 {
+		t.Errorf("OinO/InO power ratio %.2f outside [1.5, 3.0] (paper: 2.4)", r)
+	}
+	if eR.Total() >= eO.Total() {
+		t.Errorf("OinO energy per work (%.0f) must be under OoO (%.0f)", eR.Total(), eO.Total())
+	}
+	if eR.Total() >= eI.Total() {
+		t.Errorf("OinO energy per work (%.0f) should be under plain InO (%.0f)", eR.Total(), eI.Total())
+	}
+}

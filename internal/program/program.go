@@ -1,0 +1,413 @@
+// Package program generates the synthetic workload suite standing in for
+// SPEC CPU2006 (Section 4.1). Each benchmark is a phase sequence of loop
+// traces produced from per-benchmark microarchitectural parameters — ILP
+// structure, memory behaviour, branch predictability, schedule stability and
+// phase dynamics — calibrated so that the suite reproduces the paper's
+// HPD/LPD classification (Table 1) and memoizability profile (Figure 2).
+//
+// The substitution is sound because every Mirage Cores result depends on
+// these distributional properties of the workloads, not on SPEC semantics;
+// see DESIGN.md §2.
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Category is the paper's benchmark classification (Table 1).
+type Category uint8
+
+const (
+	// HPD benchmarks run at under 60% of OoO IPC on the InO.
+	HPD Category = iota
+	// LPD benchmarks run at 60% or more of OoO IPC on the InO.
+	LPD
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	if c == HPD {
+		return "HPD"
+	}
+	return "LPD"
+}
+
+// Layout is how a trace's dependence chains are laid out in program order.
+type Layout uint8
+
+const (
+	// LayoutInterleaved round-robins independent chains: the static order
+	// already exposes the ILP, so the InO keeps up (LPD-style code).
+	LayoutInterleaved Layout = iota
+	// LayoutBlocked emits each chain contiguously: only dynamic reordering
+	// across chains extracts the ILP (HPD-style code).
+	LayoutBlocked
+	// LayoutSerial is a single long dependence chain: nobody can help it.
+	LayoutSerial
+)
+
+// MemProfile coarsely describes a benchmark's data footprint.
+type MemProfile uint8
+
+const (
+	// MemL1Fit working sets live in the L1.
+	MemL1Fit MemProfile = iota
+	// MemL2Fit working sets miss the L1 but hit the 2MB L2.
+	MemL2Fit
+	// MemBound working sets miss the L2; MLP is the performance lever.
+	MemBound
+)
+
+// Params are the generator knobs for one benchmark.
+type Params struct {
+	Name     string
+	Category Category // intended classification, verified by tests
+
+	// Phase structure.
+	NumPhases     int
+	LoopsPerPhase int
+	// PhaseLen is the mean phase length in instructions.
+	PhaseLen int64
+
+	// Trace shape.
+	TraceLenMin, TraceLenMax int
+	Chains                   int
+	Layout                   Layout
+
+	// Operation mix (fractions of non-memory, non-branch instructions).
+	FPFrac, MulFrac float64
+	// Memory behaviour.
+	LoadFrac, StoreFrac float64
+	MemProfile          MemProfile
+	RandomAddrFrac      float64 // fraction of streams that are pointer-chasing
+
+	// Control behaviour fed to the branch predictor model.
+	Branch branch.Behaviour
+
+	// Memoization behaviour.
+	Stability     float64 // mean schedule stability across traces
+	IrregularFrac float64 // phase weight carried by unstable, non-loop code
+	AliasRate     float64 // replay misspeculation probability
+}
+
+// Loop is one weighted trace inside a phase.
+type Loop struct {
+	Trace  *trace.Trace
+	Deps   *trace.DepGraph
+	Weight float64
+}
+
+// Phase is a stable region of execution: a set of loops with weights.
+type Phase struct {
+	// StartInst is the retired-instruction count at which the phase begins.
+	StartInst int64
+	Loops     []Loop
+}
+
+// Benchmark is one generated application.
+type Benchmark struct {
+	Name     string
+	Params   Params
+	Phases   []Phase
+	totalLen int64
+}
+
+// PhaseAt returns the phase index active at the given instruction count.
+// Execution past the last phase boundary wraps around (applications restart
+// when they finish early, per Section 4.1).
+func (b *Benchmark) PhaseAt(inst int64) int {
+	if b.totalLen > 0 {
+		inst %= b.totalLen
+	}
+	idx := 0
+	for i := range b.Phases {
+		if b.Phases[i].StartInst <= inst {
+			idx = i
+		} else {
+			break
+		}
+	}
+	return idx
+}
+
+// PhaseLen returns the total instruction span of one pass over all phases.
+func (b *Benchmark) PhaseLen() int64 { return b.totalLen }
+
+// Generate builds the benchmark for p, deterministically from its name.
+func Generate(p Params) *Benchmark {
+	rng := xrand.NewString("bench:" + p.Name)
+	if p.NumPhases <= 0 {
+		p.NumPhases = 1
+	}
+	if p.LoopsPerPhase <= 0 {
+		p.LoopsPerPhase = 4
+	}
+	if p.TraceLenMin <= 0 {
+		p.TraceLenMin = 30
+	}
+	if p.TraceLenMax < p.TraceLenMin {
+		p.TraceLenMax = p.TraceLenMin + 40
+	}
+	if p.Chains <= 0 {
+		p.Chains = 4
+	}
+	if p.PhaseLen <= 0 {
+		p.PhaseLen = 2_000_000
+	}
+
+	b := &Benchmark{Name: p.Name, Params: p}
+	var nextID trace.ID = trace.ID(xrand.NewString(p.Name).Uint64() << 16)
+	pool := genStreamPool(p, rng)
+	start := int64(0)
+	for ph := 0; ph < p.NumPhases; ph++ {
+		phase := Phase{StartInst: start}
+		for l := 0; l < p.LoopsPerPhase; l++ {
+			irregular := rng.Float64() < p.IrregularFrac
+			t := genTrace(p, nextID, irregular, pool, rng)
+			nextID++
+			phase.Loops = append(phase.Loops, Loop{
+				Trace:  t,
+				Deps:   trace.BuildDepGraph(t),
+				Weight: 0.5 + rng.Float64(),
+			})
+		}
+		// Irregular code carries its configured share of the phase weight.
+		normalizeIrregularWeight(&phase, p.IrregularFrac)
+		b.Phases = append(b.Phases, phase)
+		// Phase lengths vary ±50% around the mean.
+		span := p.PhaseLen/2 + int64(rng.Float64()*float64(p.PhaseLen))
+		start += span
+	}
+	b.totalLen = start
+	return b
+}
+
+// normalizeIrregularWeight rescales loop weights so unstable traces carry
+// exactly the irregular fraction of the phase's execution.
+func normalizeIrregularWeight(ph *Phase, irregularFrac float64) {
+	var wIrr, wReg float64
+	for _, l := range ph.Loops {
+		if l.Trace.Stability == 0 {
+			wIrr += l.Weight
+		} else {
+			wReg += l.Weight
+		}
+	}
+	if wIrr == 0 || wReg == 0 {
+		return
+	}
+	scaleIrr := irregularFrac / wIrr
+	scaleReg := (1 - irregularFrac) / wReg
+	for i := range ph.Loops {
+		if ph.Loops[i].Trace.Stability == 0 {
+			ph.Loops[i].Weight *= scaleIrr
+		} else {
+			ph.Loops[i].Weight *= scaleReg
+		}
+	}
+}
+
+// genStreamPool builds the benchmark's shared data structures: a small pool
+// of address streams that all of its loops walk. Loops of one program touch
+// the same arrays and heaps, so the benchmark's combined footprint — not
+// one loop's — is what must fit each cache level.
+func genStreamPool(p Params, rng *xrand.Rand) []trace.StreamSpec {
+	const poolSize = 4
+	base := xrand.NewString("streams:"+p.Name).Uint64() & 0x3fffffffffff
+	pool := make([]trace.StreamSpec, poolSize)
+	for s := range pool {
+		spec := trace.StreamSpec{
+			Base:   base + uint64(s)<<32,
+			Stride: 8,
+		}
+		switch p.MemProfile {
+		case MemL1Fit:
+			spec.WorkingSet = 6 << 10
+		case MemL2Fit:
+			// Dense walk over an L2-resident set: most accesses share a
+			// line with their predecessor, so the InO's stall-on-use cost
+			// stays moderate; random streams (below) defeat that.
+			spec.WorkingSet = 256 << 10
+			spec.Stride = 8
+		case MemBound:
+			// Streaming over a memory-resident set: the stride prefetcher
+			// catches the pattern, so strided streams mostly pay L2 latency
+			// while random streams pay full memory latency.
+			spec.WorkingSet = 8 << 20
+			spec.Stride = 16
+		}
+		if rng.Float64() < p.RandomAddrFrac {
+			spec.Kind = trace.StreamRandom
+		}
+		pool[s] = spec
+	}
+	return pool
+}
+
+// genTrace builds one trace per the benchmark parameters.
+func genTrace(p Params, id trace.ID, irregular bool, pool []trace.StreamSpec, rng *xrand.Rand) *trace.Trace {
+	n := p.TraceLenMin + rng.Intn(p.TraceLenMax-p.TraceLenMin+1)
+	t := &trace.Trace{ID: id}
+
+	// This trace walks a random subset of the benchmark's shared streams.
+	nStreams := 1 + rng.Intn(3)
+	if nStreams > len(pool) {
+		nStreams = len(pool)
+	}
+	first := rng.Intn(len(pool))
+	for s := 0; s < nStreams; s++ {
+		t.Streams = append(t.Streams, pool[(first+s)%len(pool)])
+	}
+
+	chains := p.Chains
+	if p.Layout == LayoutSerial {
+		chains = 1
+	}
+	// Register allocation: each chain rotates through a window of registers
+	// (as an unrolling compiler would), plus a shared induction register
+	// carrying the loop. Wider rotation keeps the number of live renamed
+	// versions per architectural register within the OinO PRF bound.
+	const rInd = isa.Reg(0)
+
+	type chainState struct {
+		regs []isa.Reg
+		idx  int
+		fp   bool
+	}
+	cs := make([]chainState, chains)
+	nFP := 0
+	for c := range cs {
+		if rng.Float64() < p.FPFrac {
+			cs[c].fp = true
+			nFP++
+		}
+	}
+	nInt := chains - nFP
+	intPer, fpPer := regsPerChain(isa.NumIntRegs-1, nInt), regsPerChain(isa.NumFPRegs, nFP)
+	nextInt, nextFP := isa.Reg(1), isa.Reg(isa.NumIntRegs)
+	for c := range cs {
+		if cs[c].fp {
+			for k := 0; k < fpPer; k++ {
+				cs[c].regs = append(cs[c].regs, nextFP)
+				nextFP++
+			}
+		} else {
+			for k := 0; k < intPer; k++ {
+				cs[c].regs = append(cs[c].regs, nextInt)
+				nextInt++
+			}
+		}
+	}
+
+	// Instruction 0: induction update (loop-carried serial dependence).
+	t.Insts = append(t.Insts, isa.Inst{Op: isa.IntALU, Dst: rInd, Src1: rInd})
+
+	body := n - 2 // minus induction op and terminating branch
+	emitOne := func(c int) {
+		st := &cs[c]
+		cur := st.regs[st.idx]
+		next := st.regs[(st.idx+1)%len(st.regs)]
+		in := isa.Inst{Src1: cur, Dst: next}
+		r := rng.Float64()
+		switch {
+		case r < p.LoadFrac:
+			in.Op = isa.Load
+			in.Src1 = rInd // address from induction
+			in.MemStream = uint8(rng.Intn(nStreams))
+			// The loaded value feeds the chain: Dst stays st.alt, and the
+			// chain's next op consumes it (stall-on-use pressure point).
+		case r < p.LoadFrac+p.StoreFrac:
+			in.Op = isa.Store
+			in.Src1 = cur
+			in.Src2 = rInd
+			in.Dst = isa.NoReg
+			in.MemStream = uint8(rng.Intn(nStreams))
+		default:
+			if st.fp {
+				in.Op = isa.FPMul
+				if rng.Float64() < 0.5 {
+					in.Op = isa.FPAdd
+				}
+			} else {
+				in.Op = isa.IntALU
+				if rng.Float64() < p.MulFrac {
+					in.Op = isa.IntMul
+				}
+			}
+		}
+		if in.Dst != isa.NoReg {
+			st.idx = (st.idx + 1) % len(st.regs)
+		}
+		t.Insts = append(t.Insts, in)
+	}
+
+	switch p.Layout {
+	case LayoutBlocked, LayoutSerial:
+		per := body / chains
+		for c := 0; c < chains; c++ {
+			lim := per
+			if c == chains-1 {
+				lim = body - per*(chains-1)
+			}
+			for k := 0; k < lim; k++ {
+				emitOne(c)
+			}
+		}
+	default: // LayoutInterleaved
+		for k := 0; k < body; k++ {
+			emitOne(k % chains)
+		}
+	}
+
+	// Terminating backward branch on the induction variable.
+	t.Insts = append(t.Insts, isa.Inst{Op: isa.Branch, Dst: isa.NoReg, Src1: rInd})
+
+	// Control behaviour -> concrete mispredict rate via the real predictor.
+	t.MispredictRate = branch.MeasureMispredictRate(p.Branch, uint64(id), rng.Fork("br"))
+
+	if irregular {
+		t.Stability = 0
+		t.MispredictRate = clamp01(t.MispredictRate*2 + 0.02)
+	} else {
+		t.Stability = clamp01(p.Stability + 0.1*(rng.Float64()-0.5))
+	}
+	t.AliasRate = p.AliasRate * rng.Float64() * 2
+	if t.AliasRate > 1 {
+		t.AliasRate = 1
+	}
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("program: generated invalid trace: %v", err))
+	}
+	return t
+}
+
+// regsPerChain splits a register bank across chains, keeping the rotation
+// window in [2, 5] registers per chain.
+func regsPerChain(bank, chains int) int {
+	if chains <= 0 {
+		return 2
+	}
+	per := bank / chains
+	if per > 5 {
+		per = 5
+	}
+	if per < 2 {
+		per = 2
+	}
+	return per
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,67 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/ino"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/xrand"
+)
+
+// TestReplayQuality verifies the core Mirage premise (Section 1): an InO
+// core replaying a memoized OoO schedule reaches a large fraction of OoO
+// performance — far above plain in-order execution — on memoizable
+// (stable, replayable) traces.
+func TestReplayQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay sweep is slow")
+	}
+	var sumRatio, sumInORatio float64
+	var count int
+	for _, b := range Suite() {
+		if b.Params.Category != HPD {
+			continue
+		}
+		var cycO, cycR, cycI, insts float64
+		for _, l := range b.Phases[0].Loops {
+			if l.Trace.Stability == 0 {
+				continue
+			}
+			h := mem.NewHierarchy()
+			co := ooo.New(h, xrand.NewString("rq-ooo"))
+			ci := ino.New(h, xrand.NewString("rq-ino"))
+			ws := makeWalkers(l.Trace, "rq")
+			co.MeasureTrace(l.Trace, l.Deps, ws, 150) // warm
+			ro := co.MeasureTrace(l.Trace, l.Deps, ws, 12)
+			if !ro.Schedule.Replayable() {
+				continue
+			}
+			rr := ci.MeasureReplay(l.Trace, l.Deps, ro.Schedule, ws, 12)
+			ri := ci.MeasureTrace(l.Trace, l.Deps, ws, 12)
+			n := float64(l.Trace.Len())
+			insts += n
+			cycO += ro.CyclesPerIter
+			cycR += rr.CyclesPerIter
+			cycI += ri.CyclesPerIter
+		}
+		if insts == 0 {
+			continue
+		}
+		ratio := cycO / cycR  // replay perf relative to OoO
+		inoRat := cycO / cycI // plain InO relative to OoO
+		t.Logf("%-12s replay/OoO=%.2f  InO/OoO=%.2f", b.Name, ratio, inoRat)
+		sumRatio += ratio
+		sumInORatio += inoRat
+		count++
+	}
+	avg := sumRatio / float64(count)
+	avgInO := sumInORatio / float64(count)
+	t.Logf("HPD average: replay=%.2f of OoO (plain InO=%.2f)", avg, avgInO)
+	if avg < 0.75 {
+		t.Errorf("average replay performance %.2f of OoO; want >= 0.75 (paper: up to 0.90)", avg)
+	}
+	if avg <= avgInO+0.2 {
+		t.Errorf("replay (%.2f) should be far above plain InO (%.2f)", avg, avgInO)
+	}
+}

@@ -1,0 +1,52 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/xrand"
+)
+
+// TestReplayableFraction verifies that the generated suite's stable traces
+// overwhelmingly produce schedules the OinO hardware can actually replay
+// (PRF-version and LSQ bounds) — the precondition for the memoization wins
+// of Section 5.
+func TestReplayableFraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replayability sweep is slow")
+	}
+	totalOK, totalAll := 0, 0
+	for _, b := range Suite() {
+		tot, ok, badV, badL := 0, 0, 0, 0
+		for _, ph := range b.Phases {
+			for _, l := range ph.Loops {
+				if l.Trace.Stability == 0 {
+					continue
+				}
+				h := mem.NewHierarchy()
+				co := ooo.New(h, xrand.NewString("diag"))
+				ws := makeWalkers(l.Trace, "diag")
+				co.MeasureTrace(l.Trace, l.Deps, ws, 100)
+				r := co.MeasureTrace(l.Trace, l.Deps, ws, 12)
+				tot++
+				if r.Schedule.Replayable() {
+					ok++
+				} else {
+					if r.Schedule.MaxVersions > 4 {
+						badV++
+					}
+					if len(r.Schedule.MemOrder)/r.Schedule.Span > 32 {
+						badL++
+					}
+				}
+			}
+		}
+		t.Logf("%-12s replayable %d/%d (versions-limited %d, lsq-limited %d)", b.Name, ok, tot, badV, badL)
+		totalOK += ok
+		totalAll += tot
+	}
+	if frac := float64(totalOK) / float64(totalAll); frac < 0.85 {
+		t.Errorf("only %.0f%% of stable traces are replayable; want >= 85%%", frac*100)
+	}
+}

@@ -1,0 +1,189 @@
+// Package schedcache implements the 8 KB Schedule Cache (SC) of Section
+// 3.3.2: trace-cache-style storage for memoized schedules with End-of-Trace
+// markers, an eviction policy that throws out traces deemed unmemoizable
+// before falling back to LRU, and the SC-MPKI counters the arbitrator polls.
+// Writes are expensive (traces are compacted to avoid fragmentation), so
+// producers insert conservatively; the cost shows up in the energy model.
+package schedcache
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// DefaultCapacityBytes is the paper's empirically chosen SC size.
+const DefaultCapacityBytes = 8 << 10
+
+// Cache is one core's Schedule Cache.
+type Cache struct {
+	capBytes  int
+	usedBytes int
+	entries   map[trace.ID]*entry
+	tick      uint64
+
+	stats Stats
+}
+
+type entry struct {
+	sched        *trace.Schedule
+	size         int
+	lastUse      uint64
+	unmemoizable bool
+}
+
+// Stats holds the counters behind the SC-MPKI metric: fetch hits/misses are
+// counted per trace execution, instructions per instruction executed while
+// the SC was consulted.
+type Stats struct {
+	Hits         uint64
+	Misses       uint64
+	Instructions uint64
+	Inserts      uint64
+	Evictions    uint64
+	BytesWritten uint64
+}
+
+// MPKI returns Schedule-Cache misses per kilo-instruction.
+func (s Stats) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) * 1000 / float64(s.Instructions)
+}
+
+// New builds an SC with the given capacity (DefaultCapacityBytes if <= 0).
+func New(capBytes int) *Cache {
+	if capBytes <= 0 {
+		capBytes = DefaultCapacityBytes
+	}
+	return &Cache{
+		capBytes: capBytes,
+		entries:  make(map[trace.ID]*entry),
+	}
+}
+
+// Capacity returns the configured capacity in bytes.
+func (c *Cache) Capacity() int { return c.capBytes }
+
+// UsedBytes returns current occupancy (what a migration must transfer).
+func (c *Cache) UsedBytes() int { return c.usedBytes }
+
+// Len returns the number of resident schedules.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes counters without disturbing contents; the arbitrator
+// does this at every interval boundary so MPKI reflects the last interval.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Lookup consults the SC for a trace about to execute `insts` instructions.
+// On a hit it returns the memoized schedule; on a miss the core falls back
+// to fetching program-order instructions from its L1I.
+func (c *Cache) Lookup(id trace.ID, insts int) (*trace.Schedule, bool) {
+	c.tick++
+	c.stats.Instructions += uint64(insts)
+	e, ok := c.entries[id]
+	if !ok || e.unmemoizable {
+		c.stats.Misses++
+		return nil, false
+	}
+	e.lastUse = c.tick
+	c.stats.Hits++
+	return e.sched, true
+}
+
+// Contains reports residency without touching counters.
+func (c *Cache) Contains(id trace.ID) bool {
+	e, ok := c.entries[id]
+	return ok && !e.unmemoizable
+}
+
+// Insert stores a schedule, evicting as needed. It returns an error only if
+// the schedule can never fit (bigger than the whole SC).
+func (c *Cache) Insert(s *trace.Schedule) error {
+	size := s.SizeBytes()
+	if size > c.capBytes {
+		return fmt.Errorf("schedcache: schedule for trace %d (%d B) exceeds capacity %d B",
+			s.TraceID, size, c.capBytes)
+	}
+	if old, ok := c.entries[s.TraceID]; ok {
+		c.usedBytes -= old.size
+		delete(c.entries, s.TraceID)
+	}
+	for c.usedBytes+size > c.capBytes {
+		c.evictOne()
+	}
+	c.tick++
+	c.entries[s.TraceID] = &entry{sched: s, size: size, lastUse: c.tick}
+	c.usedBytes += size
+	c.stats.Inserts++
+	c.stats.BytesWritten += uint64(size)
+	return nil
+}
+
+// MarkUnmemoizable flags a resident trace as stale/unprofitable; such
+// entries are evicted first (the paper's eviction policy).
+func (c *Cache) MarkUnmemoizable(id trace.ID) {
+	if e, ok := c.entries[id]; ok {
+		e.unmemoizable = true
+	}
+}
+
+// evictOne removes the best victim: unmemoizable entries first, then LRU.
+func (c *Cache) evictOne() {
+	var victim trace.ID
+	var ve *entry
+	for id, e := range c.entries {
+		switch {
+		case ve == nil,
+			e.unmemoizable && !ve.unmemoizable,
+			e.unmemoizable == ve.unmemoizable && e.lastUse < ve.lastUse:
+			victim, ve = id, e
+		}
+	}
+	if ve == nil {
+		return
+	}
+	c.usedBytes -= ve.size
+	delete(c.entries, victim)
+	c.stats.Evictions++
+}
+
+// Flush empties the SC (application migrated away; its successor gets a
+// fresh transfer).
+func (c *Cache) Flush() {
+	c.entries = make(map[trace.ID]*entry)
+	c.usedBytes = 0
+}
+
+// CopyFrom replaces this SC's contents with src's — the SC transfer that
+// rides the coherent bus when an application migrates from the producer OoO
+// to a consumer InO. The returned byte count sizes the bus transfer.
+func (c *Cache) CopyFrom(src *Cache) int {
+	c.Flush()
+	moved := 0
+	for id, e := range src.entries {
+		if e.unmemoizable {
+			continue
+		}
+		cp := *e
+		c.tick++
+		cp.lastUse = c.tick
+		c.entries[id] = &cp
+		c.usedBytes += e.size
+		moved += e.size
+	}
+	return moved
+}
+
+// IDs returns the resident trace IDs (diagnostics and tests).
+func (c *Cache) IDs() []trace.ID {
+	ids := make([]trace.ID, 0, len(c.entries))
+	for id := range c.entries {
+		ids = append(ids, id)
+	}
+	return ids
+}

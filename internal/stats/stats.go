@@ -1,0 +1,138 @@
+// Package stats provides the metric helpers used across the evaluation:
+// means, speedups, system throughput (STP) and simple table formatting for
+// the experiment harnesses.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (0 for empty or non-positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// HarmonicMean returns the harmonic mean of xs.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s
+}
+
+// STP is the system-throughput metric of Section 3.2.2: the mean of
+// per-application speedups relative to each application running alone on
+// the reference core.
+func STP(ipc, ipcRef []float64) float64 {
+	if len(ipc) != len(ipcRef) || len(ipc) == 0 {
+		return 0
+	}
+	speedups := make([]float64, len(ipc))
+	for i := range ipc {
+		if ipcRef[i] > 0 {
+			speedups[i] = ipc[i] / ipcRef[i]
+		}
+	}
+	return Mean(speedups)
+}
+
+// Ratio returns a/b, or 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%.0f%%", x*100) }
+
+// Table is a simple fixed-width text table for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// F formats a float with 2 decimals; F3 with 3.
+func F(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func F3(x float64) string { return fmt.Sprintf("%.3f", x) }

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean %v, want 4", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("non-positive input should give 0")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1}); got != 1 {
+		t.Errorf("harmonic %v", got)
+	}
+	if got := HarmonicMean([]float64{2, 6}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("harmonic %v, want 3", got)
+	}
+	if HarmonicMean(nil) != 0 || HarmonicMean([]float64{0}) != 0 {
+		t.Error("degenerate harmonic mean")
+	}
+}
+
+func TestMeanOrderingProperty(t *testing.T) {
+	// harmonic <= geometric <= arithmetic for positive inputs.
+	err := quick.Check(func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+		}
+		h, g, a := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		const eps = 1e-9
+		return h <= g+eps && g <= a+eps
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSTP(t *testing.T) {
+	ipc := []float64{1, 2}
+	ref := []float64{2, 2}
+	if got := STP(ipc, ref); got != 0.75 {
+		t.Errorf("STP %v, want 0.75", got)
+	}
+	if STP(ipc, ref[:1]) != 0 {
+		t.Error("mismatched lengths should give 0")
+	}
+	if STP(nil, nil) != 0 {
+		t.Error("empty STP")
+	}
+	// Zero reference IPC contributes zero speedup rather than Inf.
+	if got := STP([]float64{1, 1}, []float64{0, 1}); got != 0.5 {
+		t.Errorf("STP with zero ref %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 || Ratio(6, 3) != 2 {
+		t.Error("ratio")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.84) != "84%" {
+		t.Errorf("Pct: %q", Pct(0.84))
+	}
+}
+
+func TestFormats(t *testing.T) {
+	if F(1.234) != "1.23" || F3(1.2345) != "1.234" {
+		t.Error("float formats")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Title: "demo", Headers: []string{"a", "bench"}}
+	tbl.AddRow("1", "x")
+	tbl.AddRow("22", "yy")
+	out := tbl.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: the header and first row start "bench" at the same
+	// offset.
+	if idx := strings.Index(lines[1], "bench"); idx < 0 || !strings.Contains(lines[3][idx:], "x") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
