@@ -6,11 +6,14 @@
 package repro
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 var benchScale = experiments.QuickScale
@@ -135,6 +138,66 @@ func benchOneMix(b *testing.B, mutate func(*core.Config)) {
 	}
 	b.ReportMetric(stp, "STP")
 	b.ReportMetric(active, "OoO-active")
+}
+
+// BenchmarkClusterTelemetry measures the cost of the observability layer:
+// the same 8:1 Mirage run with telemetry disabled (Off, the default nil
+// fast path) and fully instrumented (On: registry + sampler + trace sink).
+// When both sub-benchmarks run, the pair and the relative overhead are
+// written to BENCH_telemetry.json for trajectory tracking; the Off path is
+// the one every production run takes, so the overhead must stay ≈0.
+func BenchmarkClusterTelemetry(b *testing.B) {
+	mix := core.RandomMixes(core.MixRandom, 8, 1, "telemetry-bench")[0]
+	// Each iteration gets a fresh Telemetry, matching real usage (one
+	// artifact per run); reusing one across iterations grows the retained
+	// event buffer without bound and benchmarks the GC instead.
+	run := func(b *testing.B, tel func() *telemetry.Telemetry) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			cfg := core.Config{
+				Topology:       core.TopologyMirage,
+				Policy:         core.PolicySCMPKI,
+				Benchmarks:     mix,
+				TargetInsts:    benchScale.TargetInsts,
+				IntervalCycles: benchScale.IntervalCycles,
+				Seed:           "telemetry-bench",
+				Telemetry:      tel(),
+			}
+			if _, err := core.RunMix(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var offNs, onNs float64
+	b.Run("Off", func(b *testing.B) {
+		run(b, func() *telemetry.Telemetry { return nil })
+		offNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("On", func(b *testing.B) {
+		run(b, telemetry.New)
+		onNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if offNs == 0 || onNs == 0 {
+		return // a sub-benchmark was filtered out; nothing to compare
+	}
+	overhead := onNs/offNs - 1
+	b.Logf("telemetry overhead: %.2f%% (off %.0f ns/op, on %.0f ns/op)", overhead*100, offNs, onNs)
+	out := map[string]any{
+		"benchmark": "BenchmarkClusterTelemetry",
+		"unit":      "ns/op",
+		"results": map[string]float64{
+			"ClusterTelemetryOff": offNs,
+			"ClusterTelemetryOn":  onNs,
+		},
+		"overhead_frac": overhead,
+	}
+	buf, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_telemetry.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkAblationSCSize sweeps the Schedule Cache capacity around the

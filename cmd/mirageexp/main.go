@@ -3,25 +3,34 @@
 // Usage:
 //
 //	mirageexp [-scale quick|full] [-only "Figure 7,Figure 8"]
+//	mirageexp -only "Figure 7" -json-out reports.json -metrics-out m.json
 //
 // Each experiment prints a text table whose rows correspond to the figure's
 // series; EXPERIMENTS.md records a reference run next to the paper's
-// numbers.
+// numbers. -json-out additionally writes the reports as a diffable JSON
+// array, and -metrics-out/-trace-out instrument every simulation the
+// selected experiments launch (counters accumulate across experiments).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs to run (default all)")
+	jsonOut := flag.String("json-out", "", "write the selected reports as a JSON array to this file")
+	metricsOut := flag.String("metrics-out", "", "write telemetry counters and interval time-series as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
+	pprofOut := flag.String("pprof", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -33,6 +42,23 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "mirageexp: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	var tel *telemetry.Telemetry
+	if *metricsOut != "" || *traceOut != "" {
+		tel = telemetry.New()
+		scale.Telemetry = tel
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
 	}
 
 	only := map[string]bool{}
@@ -69,6 +95,7 @@ func main() {
 	}
 
 	failed := 0
+	var reports []*experiments.Report
 	for _, e := range all {
 		if len(only) > 0 && !only[e.id] {
 			continue
@@ -80,10 +107,40 @@ func main() {
 			failed++
 			continue
 		}
+		reports = append(reports, rep)
 		fmt.Println(rep.String())
 		fmt.Printf("(%s took %.1fs)\n\n", e.id, time.Since(start).Seconds())
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := experiments.WriteReportsJSON(f, reports); err != nil {
+			f.Close()
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := tel.WriteMetricsFile(*metricsOut); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *traceOut != "" {
+		if err := tel.WriteTraceFile(*traceOut); err != nil {
+			fatalf("%v", err)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mirageexp: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/program"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +32,9 @@ func main() {
 	interval := flag.Int64("interval", 80_000, "arbitration interval in cycles")
 	seed := flag.String("seed", "miragesim", "deterministic seed name")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
+	metricsOut := flag.String("metrics-out", "", "write telemetry counters and interval time-series as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
+	pprofOut := flag.String("pprof", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
 	if *list {
@@ -63,6 +68,22 @@ func main() {
 		mix = core.RandomMixes(core.MixRandom, *nFlag, 1, *seed)[0]
 	}
 
+	var tel *telemetry.Telemetry
+	if *metricsOut != "" || *traceOut != "" {
+		tel = telemetry.New()
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := core.Config{
 		Topology:       topo,
 		Benchmarks:     mix,
@@ -71,6 +92,7 @@ func main() {
 		TargetInsts:    *insts,
 		IntervalCycles: *interval,
 		Seed:           *seed,
+		Telemetry:      tel,
 	}
 	mr, err := core.RunMixWithBaseline(cfg)
 	if err != nil {
@@ -79,6 +101,17 @@ func main() {
 	ref, err := core.OoOReference(mix, *insts, *seed)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *metricsOut != "" {
+		if err := tel.WriteMetricsFile(*metricsOut); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *traceOut != "" {
+		if err := tel.WriteTraceFile(*traceOut); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	var tbl stats.Table

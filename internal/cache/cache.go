@@ -3,7 +3,11 @@
 // prefetcher, matching Table 2 of the paper.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -92,6 +96,19 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the counters without disturbing contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// RegisterTelemetry publishes this cache's counters as snapshot-time gauges
+// under prefix (e.g. "core0.l1d"). Values are read when the registry is
+// snapshotted, so registration costs nothing on the access path. A nil
+// registry is a no-op.
+func (c *Cache) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".accesses", func() float64 { return float64(c.stats.Accesses) })
+	reg.RegisterFunc(prefix+".misses", func() float64 { return float64(c.stats.Misses) })
+	reg.RegisterFunc(prefix+".miss_rate", func() float64 { return c.stats.MissRate() })
+	reg.RegisterFunc(prefix+".evictions", func() float64 { return float64(c.stats.Evictions) })
+	reg.RegisterFunc(prefix+".prefetches", func() float64 { return float64(c.stats.Prefetches) })
+	reg.RegisterFunc(prefix+".prefetch_hits", func() float64 { return float64(c.stats.PrefetchHits) })
+}
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	blk := addr >> c.setShift

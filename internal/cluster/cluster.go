@@ -19,6 +19,7 @@ import (
 	"repro/internal/ooo"
 	"repro/internal/program"
 	"repro/internal/schedcache"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -94,6 +95,12 @@ type Config struct {
 
 	// Seed names the deterministic random stream for this run.
 	Seed string
+
+	// Telemetry, when non-nil, receives the run's metrics (per-core stall,
+	// SC and migration counters), the per-interval arbitration time-series
+	// and schedule-handoff/replay/squash trace events. Nil (the default)
+	// disables all instrumentation at near-zero cost.
+	Telemetry *telemetry.Telemetry
 }
 
 // withDefaults fills zero fields.
@@ -189,6 +196,7 @@ type Result struct {
 
 // app is the runtime state of one application.
 type app struct {
+	idx   int
 	bench *program.Benchmark
 	mem   *mem.Hierarchy
 	sc    *schedcache.Cache // consumer SC contents (travels with the app)
@@ -276,6 +284,11 @@ type Cluster struct {
 	recorder   *ooo.Recorder
 	oooOwners  []int // app indexes occupying the OoO cores (empty: gated)
 	rng        *xrand.Rand
+
+	// tel holds the resolved telemetry instruments (nil when disabled);
+	// wallNow is the simulated wall clock fed to trace-event timestamps.
+	tel     *clusterTel
+	wallNow int64
 }
 
 // New builds a cluster. It returns an error for unusable configurations.
@@ -302,6 +315,7 @@ func New(cfg Config) (*Cluster, error) {
 		h := mem.NewHierarchy()
 		ar := root.Fork(fmt.Sprintf("app%d:%s", i, b.Name))
 		a := &app{
+			idx:     i,
 			bench:   b,
 			mem:     h,
 			inoC:    ino.New(h, ar.Fork("ino")),
@@ -315,6 +329,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.apps = append(c.apps, a)
 	}
+	c.attachTelemetry()
 	return c, nil
 }
 
@@ -333,7 +348,10 @@ func (c *Cluster) Run() (*Result, error) {
 	}
 	interval := 0
 	for ; interval < c.cfg.MaxIntervals+warm; interval++ {
+		c.wallNow = int64(interval) * c.cfg.IntervalCycles
 		c.runInterval(interval, res)
+		c.wallNow += c.cfg.IntervalCycles
+		c.flushInterval(interval, interval < warm)
 		if interval == warm-1 {
 			c.resetCounters(res)
 			continue
@@ -375,6 +393,7 @@ func (c *Cluster) resetCounters(res *Result) {
 		a.energyPJ = energy.Breakdown{}
 		a.timeline = nil
 	}
+	c.tel.resetAppDeltas()
 	*res = Result{}
 }
 
@@ -661,6 +680,9 @@ func (c *Cluster) measure(a *app, l *program.Loop, m mode, sched *trace.Schedule
 	// keep it for a warmup window, then re-measure warm.
 	ms.coldIters = 48
 	a.costs[key] = ms
+	if c.tel != nil {
+		c.tel.measureEvent(a, m, ms, c.wallNow)
+	}
 	return ms
 }
 
@@ -732,6 +754,7 @@ func (c *Cluster) arbitrate(interval int, res *Result) {
 		remaining = filtered
 	}
 
+	c.tel.onDecision(picks)
 	picked := make(map[int]bool, len(picks))
 	for _, p := range picks {
 		picked[p] = true
@@ -792,6 +815,8 @@ func (c *Cluster) evictFromOoO(a *app, res *Result) {
 	res.SCTransferCyclesTotal += scCost
 	res.L1RefillCyclesEst += refill
 	c.chargeBusContention(a, c.cfg.DrainCycles+scCost)
+	c.tel.onEvict(a, c.wallNow, c.cfg.IntervalCycles)
+	c.tel.onMigrationCost(c.cfg.DrainCycles, scCost)
 	a.migrate()
 }
 
@@ -820,6 +845,8 @@ func (c *Cluster) moveToOoO(a *app, res *Result) {
 	res.BusTransferCycles += c.cfg.DrainCycles
 	res.L1RefillCyclesEst += refill
 	c.chargeBusContention(a, c.cfg.DrainCycles)
+	c.tel.onGrant(a, c.wallNow)
+	c.tel.onMigrationCost(c.cfg.DrainCycles, 0)
 	if c.cfg.Memoize && c.producerSC != nil {
 		// The producer starts fresh for the new application.
 		c.producerSC.Flush()
@@ -903,4 +930,5 @@ func (c *Cluster) finalize(res *Result) {
 	}
 	// The OoO's idle time is power-gated: zero cost (Section 4.2).
 	res.TotalEnergyPJ = total
+	c.finalizeTelemetry(res)
 }

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/telemetry"
+)
+
+// runInstrumented executes a small Mirage cluster with full telemetry.
+func runInstrumented(t *testing.T) (*telemetry.Telemetry, *Result) {
+	t.Helper()
+	tel := telemetry.New()
+	cfg := small(apps("bzip2", "hmmer", "milc"))
+	cfg.HasOoO = true
+	cfg.Memoize = true
+	cfg.Arbiter = arbiter.NewSCMPKI()
+	cfg.Telemetry = tel
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tel, res
+}
+
+func TestTelemetryEndToEnd(t *testing.T) {
+	tel, res := runInstrumented(t)
+
+	m := tel.Export()
+	// Per-core pipeline stall and measurement counters exist and moved.
+	var sawStall, sawMeasure bool
+	for name, v := range m.Counters {
+		if strings.Contains(name, ".stall_") && v > 0 {
+			sawStall = true
+		}
+		if strings.HasSuffix(name, ".measures") && v > 0 {
+			sawMeasure = true
+		}
+	}
+	if !sawMeasure {
+		t.Error("no core measurement counters moved")
+	}
+	if !sawStall {
+		t.Error("no stall-by-cause counters moved")
+	}
+	// Per-core SC counters: memoizing runs must record hits or misses.
+	var scLookups int64
+	for name, v := range m.Counters {
+		if strings.HasSuffix(name, ".sc.hits") || strings.HasSuffix(name, ".sc.misses") {
+			scLookups += v
+		}
+	}
+	if scLookups == 0 {
+		t.Error("no Schedule-Cache lookup counters moved")
+	}
+	// Arbitration decisions were recorded under the policy's name.
+	var decisions int64
+	for name, v := range m.Counters {
+		if strings.HasPrefix(name, "arbiter.SC-MPKI.") {
+			decisions += v
+		}
+	}
+	if decisions == 0 {
+		t.Error("no arbitration decision counters moved")
+	}
+	// Cache gauges were registered and snapshotted.
+	if _, ok := m.Gauges["core0.mem.l1d.accesses"]; !ok {
+		t.Error("missing cache func gauges")
+	}
+	if _, ok := m.Gauges["cluster.wall_cycles"]; !ok {
+		t.Error("missing end-of-run gauges")
+	}
+
+	// Interval time-series: one sample per interval, per-app entries, and
+	// at least one post-warmup sample with an OoO owner.
+	samples := m.Intervals
+	if len(samples) == 0 {
+		t.Fatal("no interval samples recorded")
+	}
+	var sawOwner, sawWarm, sawMeasured bool
+	for _, s := range samples {
+		if len(s.Apps) != 3 {
+			t.Fatalf("sample %d has %d apps", s.Interval, len(s.Apps))
+		}
+		if s.Warmup {
+			sawWarm = true
+		} else {
+			sawMeasured = true
+		}
+		if len(s.OoOOwners) > 0 {
+			sawOwner = true
+		}
+	}
+	if !sawWarm || !sawMeasured {
+		t.Errorf("samples should span warmup and measurement (warm=%v measured=%v)", sawWarm, sawMeasured)
+	}
+	if !sawOwner {
+		t.Error("no interval recorded an OoO owner")
+	}
+	if res.Migrations > 0 && tel.Reg().Counter("cluster.migrations").Value() == 0 {
+		t.Error("migrations counter did not move")
+	}
+
+	// Trace sink: thread metadata, handoffs, tenures and per-core counters.
+	phases := map[string]int{}
+	names := map[string]int{}
+	for _, ev := range tel.Sink().Events() {
+		phases[ev.Ph]++
+		names[ev.Name]++
+	}
+	if phases["M"] < 4 { // 3 core lanes + producer lane
+		t.Errorf("thread metadata events = %d", phases["M"])
+	}
+	if names["handoff"] == 0 || phases["X"] == 0 {
+		t.Errorf("missing handoff/tenure events: %v", names)
+	}
+	if phases["C"] == 0 {
+		t.Error("missing per-core counter track events")
+	}
+}
+
+func TestTelemetryDisabledIsInert(t *testing.T) {
+	cfg := small(apps("bzip2", "hmmer"))
+	cfg.HasOoO = true
+	cfg.Memoize = true
+	cfg.Arbiter = arbiter.NewSCMPKI()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.tel != nil {
+		t.Fatal("telemetry attached without config")
+	}
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	// Instrumented and uninstrumented runs of the same config must produce
+	// identical results: observation must not change the system.
+	run := func(tel *telemetry.Telemetry) *Result {
+		cfg := small(apps("bzip2", "hmmer", "astar"))
+		cfg.HasOoO = true
+		cfg.Memoize = true
+		cfg.Arbiter = arbiter.NewSCMPKI()
+		cfg.Telemetry = tel
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	instrumented := run(telemetry.New())
+	if plain.WallCycles != instrumented.WallCycles ||
+		plain.Migrations != instrumented.Migrations ||
+		plain.Intervals != instrumented.Intervals {
+		t.Errorf("telemetry perturbed the run: %+v vs %+v", plain, instrumented)
+	}
+	for i := range plain.Apps {
+		if plain.Apps[i].IPC != instrumented.Apps[i].IPC {
+			t.Errorf("app %d IPC differs: %v vs %v", i, plain.Apps[i].IPC, instrumented.Apps[i].IPC)
+		}
+	}
+}

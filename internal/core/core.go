@@ -17,6 +17,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/program"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -115,6 +116,11 @@ type Config struct {
 	BroadcastSC bool
 	// Seed names the deterministic random stream.
 	Seed string
+	// Telemetry, when non-nil, receives the run's metrics, per-interval
+	// arbitration time-series and trace events (see internal/telemetry).
+	// It applies to this configuration's own run only — baseline/reference
+	// runs stay uninstrumented.
+	Telemetry *telemetry.Telemetry
 }
 
 // MixResult is a simulated mix outcome with derived metrics.
@@ -161,6 +167,7 @@ func (c Config) clusterConfig(apps []*program.Benchmark) (cluster.Config, error)
 		PingPongEvery:   c.PingPongEvery,
 		BroadcastSC:     c.BroadcastSC,
 		Seed:            c.Seed + ":" + string(c.Policy),
+		Telemetry:       c.Telemetry,
 	}
 	switch c.Topology {
 	case TopologyMirage:

@@ -10,10 +10,13 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Scale sets how big the simulated runs are. Quick keeps every experiment
@@ -28,6 +31,9 @@ type Scale struct {
 	NValues []int
 	// TimelineIntervals is the length of timeline case studies (Figs 5/10).
 	TimelineIntervals int
+	// Telemetry, when non-nil, instruments every simulation the experiments
+	// launch. All runs share the registry, so counters are harness totals.
+	Telemetry *telemetry.Telemetry
 }
 
 // QuickScale runs every experiment in seconds-to-minutes.
@@ -55,6 +61,7 @@ func (s Scale) baseConfig(seed string) core.Config {
 		TargetInsts:    s.TargetInsts,
 		IntervalCycles: s.IntervalCycles,
 		Seed:           seed,
+		Telemetry:      s.Telemetry,
 	}
 }
 
@@ -72,6 +79,49 @@ func (r *Report) String() string {
 		s += "note: " + r.Notes + "\n"
 	}
 	return s
+}
+
+// reportJSON is the machine-readable shape of a Report: the table flattened
+// so runs diff cleanly and feed trajectory tooling.
+type reportJSON struct {
+	ID      string     `json:"id"`
+	Notes   string     `json:"notes,omitempty"`
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers,omitempty"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON encodes the report as a flat, diffable object.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	rows := r.Table.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(reportJSON{
+		ID:      r.ID,
+		Notes:   r.Notes,
+		Title:   r.Table.Title,
+		Headers: r.Table.Headers,
+		Rows:    rows,
+	})
+}
+
+// WriteJSON writes the report's JSON encoding, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteReportsJSON writes a slice of reports as one indented JSON array —
+// the diffable counterpart of mirageexp's text output.
+func WriteReportsJSON(w io.Writer, reports []*Report) error {
+	if reports == nil {
+		reports = []*Report{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(reports)
 }
 
 // sweepPoint is one (n, policy) observation averaged over mixes.

@@ -50,13 +50,11 @@ func Figure3b(s Scale) (*Report, error) {
 func pingPongPerf(s Scale, mix []string, interval int64) (float64, error) {
 	// The cluster migrates at interval boundaries, so express the switching
 	// period through the interval length itself.
-	base := core.Config{
-		Topology:       core.TopologyHomoInO,
-		Benchmarks:     mix,
-		TargetInsts:    s.TargetInsts / 2,
-		IntervalCycles: interval,
-		Seed:           "fig3b",
-	}
+	base := s.baseConfig("fig3b")
+	base.Topology = core.TopologyHomoInO
+	base.Benchmarks = mix
+	base.TargetInsts = s.TargetInsts / 2
+	base.IntervalCycles = interval
 	stable, err := core.RunMix(base)
 	if err != nil {
 		return 0, err

@@ -48,13 +48,10 @@ func profile(s Scale, name string) (*benchProfile, error) {
 	p := &benchProfile{name: name, category: b.Params.Category}
 
 	for _, topo := range []core.Topology{core.TopologyHomoOoO, core.TopologyHomoInO} {
-		mr, err := core.RunMix(core.Config{
-			Topology:       topo,
-			Benchmarks:     []string{name},
-			TargetInsts:    s.TargetInsts,
-			IntervalCycles: s.IntervalCycles,
-			Seed:           "profile",
-		})
+		cfg := s.baseConfig("profile")
+		cfg.Topology = topo
+		cfg.Benchmarks = []string{name}
+		mr, err := core.RunMix(cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -15,14 +15,13 @@ import (
 // spikes in their immediate locus, which is exactly the signal the SC-MPKI
 // arbitrator keys on.
 func Figure5(s Scale) (*Report, error) {
-	mr, err := core.RunMix(core.Config{
-		Topology:       core.TopologyMirage,
-		Policy:         core.PolicySCMPKI,
-		Benchmarks:     []string{"bzip2", "namd", "gamess"},
-		TargetInsts:    s.TargetInsts * 4, // long enough to cross several phases
-		IntervalCycles: s.IntervalCycles / 2,
-		Seed:           "fig5",
-	})
+	cfg := s.baseConfig("fig5")
+	cfg.Topology = core.TopologyMirage
+	cfg.Policy = core.PolicySCMPKI
+	cfg.Benchmarks = []string{"bzip2", "namd", "gamess"}
+	cfg.TargetInsts = s.TargetInsts * 4 // long enough to cross several phases
+	cfg.IntervalCycles = s.IntervalCycles / 2
+	mr, err := core.RunMix(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -45,14 +44,13 @@ func Figure5(s Scale) (*Report, error) {
 // right after a large ΔSC-MPKI spike are more likely to be scheduled on the
 // OoO than average intervals.
 func Figure5Correlation(s Scale) (spikeMigrations, baseMigrations float64, err error) {
-	mr, err := core.RunMix(core.Config{
-		Topology:       core.TopologyMirage,
-		Policy:         core.PolicySCMPKI,
-		Benchmarks:     []string{"bzip2", "namd", "gamess"},
-		TargetInsts:    s.TargetInsts * 4,
-		IntervalCycles: s.IntervalCycles / 2,
-		Seed:           "fig5",
-	})
+	cfg := s.baseConfig("fig5")
+	cfg.Topology = core.TopologyMirage
+	cfg.Policy = core.PolicySCMPKI
+	cfg.Benchmarks = []string{"bzip2", "namd", "gamess"}
+	cfg.TargetInsts = s.TargetInsts * 4
+	cfg.IntervalCycles = s.IntervalCycles / 2
+	mr, err := core.RunMix(cfg)
 	if err != nil {
 		return 0, 0, err
 	}

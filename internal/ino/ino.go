@@ -14,6 +14,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -35,11 +36,31 @@ type Result struct {
 type Core struct {
 	Mem *mem.Hierarchy
 	rng *xrand.Rand
+	tel *telemetry.CoreMetrics
 }
 
 // New builds an InO core.
 func New(h *mem.Hierarchy, rng *xrand.Rand) *Core {
 	return &Core{Mem: h, rng: rng}
+}
+
+// AttachTelemetry resolves this core's counters in reg under prefix (e.g.
+// "core0.ino"). A nil registry detaches instrumentation; detached is the
+// default and costs nothing on the measurement path.
+func (c *Core) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	c.tel = telemetry.NewCoreMetrics(reg, prefix)
+}
+
+// record feeds a finished pipeline measurement into the attached counters.
+func (c *Core) record(res *pipeline.Result) {
+	if c.tel == nil {
+		return
+	}
+	c.tel.Measures.Inc()
+	c.tel.MeasuredCycles.Add(int64(res.Cycles))
+	c.tel.StallData.Add(int64(res.StallDataCycles))
+	c.tel.StallFU.Add(int64(res.StallFUCycles))
+	c.tel.StallFetch.Add(int64(res.StallFetchCycles))
 }
 
 // MeasureIters is the default iteration count per measurement.
@@ -73,6 +94,7 @@ func (c *Core) MeasureTrace(t *trace.Trace, deps *trace.DepGraph, walkers []*mem
 		FetchGate:         func(it int) int { return fetchGates[it] },
 	}
 	res := pipeline.Run(req)
+	c.record(&res)
 	cpi := res.SteadyCyclesPerIter()
 	r := Result{
 		CyclesPerIter: cpi,
@@ -121,6 +143,7 @@ func (c *Core) MeasureReplay(t *trace.Trace, deps *trace.DepGraph, sched *trace.
 		Mispredicts: func(int) bool { return c.rng.Bool(t.MispredictRate) },
 	}
 	res := pipeline.Run(req)
+	c.record(&res)
 	replayCPI := res.SteadyCyclesPerIter() + CommitOverheadCycles
 
 	// Alias-squashing iterations pay: the wasted partial replay (half an
@@ -137,6 +160,10 @@ func (c *Core) MeasureReplay(t *trace.Trace, deps *trace.DepGraph, sched *trace.
 
 	ev := c.countEvents(t, &res, iters, nLoads, nStores, true)
 	ev.Squashes = uint64(float64(iters)*squashP + 0.5)
+	if c.tel != nil {
+		c.tel.Replays.Add(int64(iters))
+		c.tel.SquashedIters.Add(int64(ev.Squashes))
+	}
 	r := Result{
 		CyclesPerIter: cpi,
 		SquashRate:    squashP,

@@ -6,6 +6,7 @@ package mem
 
 import (
 	"repro/internal/cache"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -59,6 +60,25 @@ func NewHierarchy() *Hierarchy {
 
 // Traffic returns accumulated line-transfer counts.
 func (h *Hierarchy) Traffic() Traffic { return h.traffic }
+
+// RegisterTelemetry publishes the hierarchy's cache and TLB counters as
+// snapshot-time gauges under prefix (e.g. "core0.mem"). A nil registry is a
+// no-op.
+func (h *Hierarchy) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	h.L1I.RegisterTelemetry(reg, prefix+".l1i")
+	h.L1D.RegisterTelemetry(reg, prefix+".l1d")
+	h.L2.RegisterTelemetry(reg, prefix+".l2")
+	reg.RegisterFunc(prefix+".itlb.misses", func() float64 {
+		_, m := h.ITLB.Stats()
+		return float64(m)
+	})
+	reg.RegisterFunc(prefix+".dtlb.misses", func() float64 {
+		_, m := h.DTLB.Stats()
+		return float64(m)
+	})
+	reg.RegisterFunc(prefix+".bus.l1_l2_lines", func() float64 { return float64(h.traffic.L1ToL2Lines) })
+	reg.RegisterFunc(prefix+".bus.l2_mem_lines", func() float64 { return float64(h.traffic.L2ToMemLines) })
+}
 
 // ResetTraffic zeroes transfer counts (per-interval accounting).
 func (h *Hierarchy) ResetTraffic() { h.traffic = Traffic{} }

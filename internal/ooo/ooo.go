@@ -11,6 +11,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -32,12 +33,20 @@ type Result struct {
 type Core struct {
 	Mem *mem.Hierarchy
 	rng *xrand.Rand
+	tel *telemetry.CoreMetrics
 }
 
 // New builds an OoO core. The rng drives per-iteration stochastic events
 // (branch mispredictions, schedule variation draws).
 func New(h *mem.Hierarchy, rng *xrand.Rand) *Core {
 	return &Core{Mem: h, rng: rng}
+}
+
+// AttachTelemetry resolves this core's counters in reg under prefix (e.g.
+// "core0.ooo"). A nil registry detaches instrumentation; detached is the
+// default and costs nothing on the measurement path.
+func (c *Core) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	c.tel = telemetry.NewCoreMetrics(reg, prefix)
 }
 
 // MeasureIters is the default number of back-to-back iterations simulated
@@ -75,6 +84,13 @@ func (c *Core) MeasureTrace(t *trace.Trace, deps *trace.DepGraph, walkers []*mem
 		FetchGate:         func(it int) int { return fetchGates[it] },
 	}
 	res := pipeline.Run(req)
+	if c.tel != nil {
+		c.tel.Measures.Inc()
+		c.tel.MeasuredCycles.Add(int64(res.Cycles))
+		c.tel.StallData.Add(int64(res.StallDataCycles))
+		c.tel.StallFU.Add(int64(res.StallFUCycles))
+		c.tel.StallFetch.Add(int64(res.StallFetchCycles))
+	}
 
 	cpi := res.SteadyCyclesPerIter()
 	sched := extractSchedule(t, &res)

@@ -88,6 +88,14 @@ type Result struct {
 	// LoadStallCycles estimates cycles the issue stage spent unable to
 	// issue anything (an energy/utilization proxy).
 	LoadStallCycles int
+	// StallDataCycles, StallFUCycles and StallFetchCycles break issue
+	// stalls down by cause — operand not ready, every free functional unit
+	// of the needed class busy, and front end gated (I-fetch miss or branch
+	// redirect). Data and FU stalls partition LoadStallCycles' events;
+	// fetch stalls are counted separately in cycles skipped at the gate.
+	StallDataCycles  int
+	StallFUCycles    int
+	StallFetchCycles int
 }
 
 // SteadyCyclesPerIter returns the marginal cycles per iteration measured
@@ -290,6 +298,7 @@ func runDataflow(req Request, dyns []dyn, res *Result) {
 
 		// Issue oldest-ready-first.
 		issuedThis := 0
+		fuBlocked := false
 		for i := 0; i < len(inflight) && issuedThis < req.Width; i++ {
 			idx := inflight[i]
 			d := &dyns[idx]
@@ -299,6 +308,7 @@ func runDataflow(req Request, dyns []dyn, res *Result) {
 			}
 			in := t.Insts[d.static]
 			if !fus.tryIssue(in.Op, cycle) {
+				fuBlocked = true
 				continue
 			}
 			d.issued = cycle
@@ -329,6 +339,17 @@ func runDataflow(req Request, dyns []dyn, res *Result) {
 		}
 		if issuedThis == 0 && len(inflight) > 0 {
 			res.LoadStallCycles++
+			if fuBlocked {
+				res.StallFUCycles++
+			} else {
+				res.StallDataCycles++
+			}
+		}
+		if issuedThis == 0 && len(inflight) == 0 && dispatched < total &&
+			cycle < iterGate[dyns[dispatched].iter] {
+			// The window is empty and the front end is gated: a pure fetch
+			// stall (mispredict redirect or I-fetch miss).
+			res.StallFetchCycles++
 		}
 		cycle++
 		if cycle > 1<<26 {
@@ -375,9 +396,11 @@ func runInOrder(req Request, dyns []dyn, res *Result) {
 	next := 0
 	for next < len(seq) {
 		if cycle < gate {
+			res.StallFetchCycles += gate - cycle
 			cycle = gate
 		}
 		issuedThis := 0
+		fuBlocked := false
 		for issuedThis < req.Width && next < len(seq) {
 			d := &dyns[seq[next]]
 			rt := readyTime(dyns, d)
@@ -389,6 +412,7 @@ func runInOrder(req Request, dyns []dyn, res *Result) {
 			}
 			in := t.Insts[d.static]
 			if !fus.tryIssue(in.Op, cycle) {
+				fuBlocked = true
 				break
 			}
 			d.issued = cycle
@@ -418,12 +442,19 @@ func runInOrder(req Request, dyns []dyn, res *Result) {
 		}
 		if issuedThis == 0 {
 			res.LoadStallCycles++
+			if fuBlocked {
+				res.StallFUCycles++
+			}
 			// Jump to the earliest cycle something can proceed.
 			d := &dyns[seq[next]]
 			rt := readyTime(dyns, d)
 			if rt > cycle {
+				res.StallDataCycles += rt - cycle
 				cycle = rt
 				continue
+			}
+			if !fuBlocked {
+				res.StallDataCycles++
 			}
 			cycle++
 			if cycle > 1<<26 {

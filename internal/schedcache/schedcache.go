@@ -9,6 +9,7 @@ package schedcache
 import (
 	"fmt"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -23,6 +24,12 @@ type Cache struct {
 	tick      uint64
 
 	stats Stats
+	tel   *telCounters
+}
+
+// telCounters mirrors Stats into a telemetry registry when attached.
+type telCounters struct {
+	hits, misses, inserts, evictions, bytesWritten *telemetry.Counter
 }
 
 type entry struct {
@@ -77,7 +84,25 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats zeroes counters without disturbing contents; the arbitrator
 // does this at every interval boundary so MPKI reflects the last interval.
+// Attached telemetry counters keep accumulating — they track run totals.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// AttachTelemetry resolves run-total hit/miss/insert/evict counters in reg
+// under prefix (e.g. "core0.sc"). Unlike Stats, the counters survive
+// ResetStats, so they report whole-run totals. A nil registry detaches.
+func (c *Cache) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		c.tel = nil
+		return
+	}
+	c.tel = &telCounters{
+		hits:         reg.Counter(prefix + ".hits"),
+		misses:       reg.Counter(prefix + ".misses"),
+		inserts:      reg.Counter(prefix + ".inserts"),
+		evictions:    reg.Counter(prefix + ".evictions"),
+		bytesWritten: reg.Counter(prefix + ".bytes_written"),
+	}
+}
 
 // Lookup consults the SC for a trace about to execute `insts` instructions.
 // On a hit it returns the memoized schedule; on a miss the core falls back
@@ -88,10 +113,16 @@ func (c *Cache) Lookup(id trace.ID, insts int) (*trace.Schedule, bool) {
 	e, ok := c.entries[id]
 	if !ok || e.unmemoizable {
 		c.stats.Misses++
+		if c.tel != nil {
+			c.tel.misses.Inc()
+		}
 		return nil, false
 	}
 	e.lastUse = c.tick
 	c.stats.Hits++
+	if c.tel != nil {
+		c.tel.hits.Inc()
+	}
 	return e.sched, true
 }
 
@@ -121,6 +152,10 @@ func (c *Cache) Insert(s *trace.Schedule) error {
 	c.usedBytes += size
 	c.stats.Inserts++
 	c.stats.BytesWritten += uint64(size)
+	if c.tel != nil {
+		c.tel.inserts.Inc()
+		c.tel.bytesWritten.Add(int64(size))
+	}
 	return nil
 }
 
@@ -150,6 +185,9 @@ func (c *Cache) evictOne() {
 	c.usedBytes -= ve.size
 	delete(c.entries, victim)
 	c.stats.Evictions++
+	if c.tel != nil {
+		c.tel.evictions.Inc()
+	}
 }
 
 // Flush empties the SC (application migrated away; its successor gets a

@@ -1,0 +1,88 @@
+package telemetry
+
+import "sync"
+
+// AppSample is one application's slice of an interval sample.
+type AppSample struct {
+	// App is the application's index within its cluster; Name its benchmark.
+	App  int    `json:"app"`
+	Name string `json:"name,omitempty"`
+	// OnOoO reports whether the app occupied an OoO core this interval.
+	OnOoO bool `json:"on_ooo,omitempty"`
+	// IPC is the interval's instructions per cycle.
+	IPC float64 `json:"ipc"`
+	// SCMPKI is the Schedule-Cache misses per kilo-instruction observed this
+	// interval (0 on non-memoizing topologies).
+	SCMPKI float64 `json:"sc_mpki,omitempty"`
+	// Insts is the number of instructions retired this interval.
+	Insts int64 `json:"insts,omitempty"`
+}
+
+// IntervalSample is one arbitration interval's record: who held the OoO and
+// what every application achieved — the data behind Figure 9's timeline.
+type IntervalSample struct {
+	// Run labels the simulation this sample belongs to (the cluster seed),
+	// so one Sampler can serve several runs (mirageexp sweeps).
+	Run string `json:"run,omitempty"`
+	// Interval is the interval index within the run (warmup included).
+	Interval int `json:"interval"`
+	// Warmup marks pre-measurement intervals (counters reset after them).
+	Warmup bool `json:"warmup,omitempty"`
+	// OoOOwners lists the app indexes occupying OoO cores this interval
+	// (empty: the OoO was power-gated or absent).
+	OoOOwners []int `json:"ooo_owners,omitempty"`
+	// Apps holds the per-application samples.
+	Apps []AppSample `json:"apps"`
+}
+
+// Sampler accumulates the per-interval time-series. The zero value is ready
+// to use; a nil *Sampler discards samples.
+type Sampler struct {
+	mu      sync.Mutex
+	samples []IntervalSample
+}
+
+// NewSampler returns an empty sampler.
+func NewSampler() *Sampler { return &Sampler{} }
+
+// Record appends one interval sample. Safe on a nil receiver (no-op).
+func (s *Sampler) Record(smp IntervalSample) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.samples = append(s.samples, smp)
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded samples (0 for a nil receiver).
+func (s *Sampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Samples returns a copy of the recorded series (nil for a nil receiver).
+func (s *Sampler) Samples() []IntervalSample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]IntervalSample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Reset discards all samples. Safe on a nil receiver.
+func (s *Sampler) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.samples = s.samples[:0]
+	s.mu.Unlock()
+}

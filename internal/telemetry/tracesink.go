@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one Chrome trace_event record. The exported JSON follows the
+// Trace Event Format's array flavor, loadable in chrome://tracing and
+// Perfetto. Simulated cycles map 1:1 onto the format's microsecond
+// timestamps.
+type TraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the event phase: "X" complete, "i" instant, "C" counter,
+	// "M" metadata.
+	Ph  string `json:"ph"`
+	Ts  int64  `json:"ts"`
+	Dur int64  `json:"dur,omitempty"`
+	Pid int    `json:"pid"`
+	Tid int    `json:"tid"`
+	// Scope applies to instant events ("g" global, "p" process, "t" thread).
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// TraceSink accumulates trace events. The zero value is ready to use; a nil
+// *TraceSink discards events, so emit sites need no enablement checks.
+type TraceSink struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTraceSink returns an empty sink.
+func NewTraceSink() *TraceSink { return &TraceSink{} }
+
+// Emit appends one event. Safe on a nil receiver (no-op).
+func (t *TraceSink) Emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Complete emits an "X" (complete) event spanning [ts, ts+dur) on the given
+// thread lane. Safe on a nil receiver.
+func (t *TraceSink) Complete(name, cat string, ts, dur int64, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(TraceEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Tid: tid, Args: args})
+}
+
+// Instant emits an "i" (instant) event at ts on the given thread lane. Safe
+// on a nil receiver.
+func (t *TraceSink) Instant(name, cat string, ts int64, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(TraceEvent{Name: name, Cat: cat, Ph: "i", Ts: ts, Tid: tid, Scope: "t", Args: args})
+}
+
+// Count emits a "C" (counter) event: the tracks named by the args keys show
+// the values as a time-series. Safe on a nil receiver.
+func (t *TraceSink) Count(name string, ts int64, tid int, values map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(TraceEvent{Name: name, Ph: "C", Ts: ts, Tid: tid, Args: values})
+}
+
+// NameThread emits the "M" metadata event labeling a tid lane (e.g. with the
+// benchmark running on that core). Safe on a nil receiver.
+func (t *TraceSink) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.Emit(TraceEvent{
+		Name: "thread_name", Ph: "M", Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Len returns the number of buffered events (0 for a nil receiver).
+func (t *TraceSink) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the buffered events (nil for a nil receiver).
+func (t *TraceSink) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// WriteJSON exports the buffered events as a Chrome trace_event JSON array.
+// A nil sink writes an empty array.
+func (t *TraceSink) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
