@@ -7,11 +7,14 @@ package repro
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -196,6 +199,73 @@ func BenchmarkClusterTelemetry(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_telemetry.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepParallel measures the parallel experiment engine on the
+// Figures 7/8/9b sweep: the same reduced sweep serially (-parallel 1) and on
+// a full worker pool (-parallel 0 = GOMAXPROCS). Reports are bit-identical
+// either way (TestParallelMatchesSerial); this benchmark tracks the
+// wall-clock payoff. When both sub-benchmarks run, the pair, the machine's
+// CPU count and the speedup are written to BENCH_parallel.json — on a
+// single-CPU machine the speedup is necessarily ~1x, so the file records
+// cpus alongside it.
+func BenchmarkSweepParallel(b *testing.B) {
+	// A reduced sweep keeps one iteration in seconds while still fanning out
+	// 6 Compare jobs (= 30 simulations).
+	sweep := experiments.Scale{
+		TargetInsts:    1_000_000,
+		IntervalCycles: 40_000,
+		MixesPerPoint:  3,
+		NValues:        []int{4, 8},
+	}
+	program.Suite() // generate the workload suite outside the timed region
+	run := func(b *testing.B, parallel int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			s := sweep
+			s.Parallel = parallel
+			// A per-iteration scale name gives each iteration a fresh sweep
+			// cache key, so every iteration simulates instead of replaying
+			// the memoized result (seeds ignore the name: results match).
+			s.Name = fmt.Sprintf("sweepbench-p%d-i%d", parallel, i)
+			if _, err := experiments.Figure7(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var serialNs, parallelNs float64
+	b.Run("Serial", func(b *testing.B) {
+		run(b, 1)
+		serialNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		run(b, 0)
+		parallelNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if serialNs == 0 || parallelNs == 0 {
+		return // a sub-benchmark was filtered out; nothing to compare
+	}
+	speedup := serialNs / parallelNs
+	cpus := runtime.GOMAXPROCS(0)
+	b.Logf("sweep speedup: %.2fx on %d CPUs (serial %.0f ns/op, parallel %.0f ns/op)",
+		speedup, cpus, serialNs, parallelNs)
+	out := map[string]any{
+		"benchmark": "BenchmarkSweepParallel",
+		"unit":      "ns/op",
+		"cpus":      cpus,
+		"results": map[string]float64{
+			"SweepSerial":   serialNs,
+			"SweepParallel": parallelNs,
+		},
+		"speedup": speedup,
+	}
+	buf, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	parallelFlag := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); reports are bit-identical at any setting")
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs to run (default all)")
 	jsonOut := flag.String("json-out", "", "write the selected reports as a JSON array to this file")
 	metricsOut := flag.String("metrics-out", "", "write telemetry counters and interval time-series as JSON to this file")
@@ -43,6 +44,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mirageexp: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
 	}
+	if *parallelFlag < 0 {
+		fmt.Fprintf(os.Stderr, "mirageexp: -parallel must be >= 0\n")
+		os.Exit(2)
+	}
+	scale.Parallel = *parallelFlag
 
 	var tel *telemetry.Telemetry
 	if *metricsOut != "" || *traceOut != "" {

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/program"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -31,6 +33,7 @@ func main() {
 	insts := flag.Int64("insts", 2_000_000, "instruction target per application")
 	interval := flag.Int64("interval", 80_000, "arbitration interval in cycles")
 	seed := flag.String("seed", "miragesim", "deterministic seed name")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	metricsOut := flag.String("metrics-out", "", "write telemetry counters and interval time-series as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
@@ -94,14 +97,33 @@ func main() {
 		Seed:           *seed,
 		Telemetry:      tel,
 	}
-	mr, err := core.RunMixWithBaseline(cfg)
+	// The mix and its Homo-OoO reference are independent simulations; run
+	// them as two runner jobs (the old code also simulated the reference a
+	// second time inside RunMixWithBaseline — this keeps one of each).
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mr  *core.MixResult
+		ref []float64
+	)
+	_, err := runner.Run(workers, []runner.Job[struct{}]{
+		{Name: "mix", Run: func() (struct{}, error) {
+			var err error
+			mr, err = core.RunMix(cfg)
+			return struct{}{}, err
+		}},
+		{Name: "ref", Run: func() (struct{}, error) {
+			var err error
+			ref, err = core.OoOReference(mix, *insts, *seed)
+			return struct{}{}, err
+		}},
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
-	ref, err := core.OoOReference(mix, *insts, *seed)
-	if err != nil {
-		fatalf("%v", err)
-	}
+	mr.STP = stats.STP(mr.PerAppIPC, ref)
 
 	if *metricsOut != "" {
 		if err := tel.WriteMetricsFile(*metricsOut); err != nil {

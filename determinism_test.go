@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestParallelMatchesSerial is the paper-trail for the parallel experiment
+// engine's central claim (DESIGN.md §8): running the experiments on a worker
+// pool produces byte-identical output to the serial path. It renders a
+// representative slice of the evaluation — the Figures 7/8/9b sweep via
+// Headline and Figure7, and the SC sizing study — at -parallel 1 and
+// -parallel 8 and compares both the text tables and the JSON encoding.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick-scale evaluation twice")
+	}
+
+	render := func(parallel int) (string, []byte) {
+		t.Helper()
+		// Drop memoized results so this pass recomputes from scratch
+		// instead of replaying the other pass's cache.
+		experiments.ResetCaches()
+		s := experiments.QuickScale
+		s.Parallel = parallel
+
+		var reports []*experiments.Report
+		for _, run := range []func(experiments.Scale) (*experiments.Report, error){
+			experiments.Headline, experiments.Figure7, experiments.SCSize,
+		} {
+			rep, err := run(s)
+			if err != nil {
+				t.Fatalf("parallel=%d: %v", parallel, err)
+			}
+			reports = append(reports, rep)
+		}
+		var text bytes.Buffer
+		for _, rep := range reports {
+			text.WriteString(rep.String())
+			text.WriteString("\n")
+		}
+		var js bytes.Buffer
+		if err := experiments.WriteReportsJSON(&js, reports); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return text.String(), js.Bytes()
+	}
+
+	serialText, serialJSON := render(1)
+	parallelText, parallelJSON := render(8)
+
+	if serialText != parallelText {
+		t.Errorf("text reports differ between -parallel 1 and -parallel 8:\n--- serial\n%s\n--- parallel\n%s",
+			serialText, parallelText)
+	}
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Errorf("JSON reports differ between -parallel 1 and -parallel 8:\n--- serial\n%s\n--- parallel\n%s",
+			serialJSON, parallelJSON)
+	}
+}

@@ -93,7 +93,12 @@ type Config struct {
 	// to be slight). Defaults to 0.1.
 	BusContentionShare float64
 
-	// Seed names the deterministic random stream for this run.
+	// Seed names the deterministic random stream for this run. Every random
+	// decision the cluster makes derives from this name via internal/xrand,
+	// and a Cluster holds no state shared with other instances, so two runs
+	// with equal Configs produce identical Results even when simulated on
+	// concurrent goroutines — the property the parallel experiment engine
+	// (internal/runner, DESIGN.md §8) is built on.
 	Seed string
 
 	// Telemetry, when non-nil, receives the run's metrics (per-core stall,

@@ -10,12 +10,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/arbiter"
 	"repro/internal/cluster"
 	"repro/internal/energy"
 	"repro/internal/program"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/xrand"
@@ -114,12 +116,27 @@ type Config struct {
 	// producer's schedules broadcast to every consumer SC, so one
 	// memoization pass serves homogeneous threads cluster-wide.
 	BroadcastSC bool
-	// Seed names the deterministic random stream.
+	// Seed names the deterministic random stream. Seeding is per-job: a
+	// simulation derives every random decision it makes from this name
+	// alone (via internal/xrand), and RunMix shares no mutable state
+	// between calls, so a batch of simulations produces bit-identical
+	// results whether the batch runs serially or on concurrent goroutines
+	// (DESIGN.md §8). Helpers that launch several runs (Compare,
+	// RunMixWithBaseline) derive distinct sub-seeds per run from this name.
 	Seed string
+	// Parallel is the worker budget for helpers that launch multiple
+	// simulations from one call — Compare and RunMixWithBaseline fan their
+	// independent RunMix invocations out to an internal/runner pool.
+	// 0 or 1 keeps those helpers serial (the default); RunMix itself is
+	// always a single simulation regardless. Results are identical at any
+	// setting; only wall-clock time changes.
+	Parallel int
 	// Telemetry, when non-nil, receives the run's metrics, per-interval
 	// arbitration time-series and trace events (see internal/telemetry).
 	// It applies to this configuration's own run only — baseline/reference
-	// runs stay uninstrumented.
+	// runs stay uninstrumented. A Telemetry may be shared by concurrent
+	// runs: counters and histograms accumulate totals race-free; see
+	// DESIGN.md §8 for the gauge/trace-ordering caveats.
 	Telemetry *telemetry.Telemetry
 }
 
@@ -266,14 +283,40 @@ func OoOReference(names []string, targetInsts int64, seed string) ([]float64, er
 	return mr.PerAppIPC, nil
 }
 
-// RunMixWithBaseline runs cfg and fills STP against the Homo-OoO reference.
-func RunMixWithBaseline(cfg Config) (*MixResult, error) {
-	mr, err := RunMix(cfg)
-	if err != nil {
-		return nil, err
+// workers lowers a Config.Parallel knob to a runner worker count: 0 and 1
+// both mean serial, anything larger is a bound on concurrent simulations.
+func workers(parallel int) int {
+	if parallel <= 1 {
+		return 1
 	}
-	ref, err := OoOReference(cfg.Benchmarks, cfg.TargetInsts, cfg.Seed)
-	if err != nil {
+	return parallel
+}
+
+// RunMixWithBaseline runs cfg and fills STP against the Homo-OoO reference.
+// The two simulations are independent (distinct seeds, no shared state); with
+// cfg.Parallel > 1 they run concurrently and the result is unchanged.
+func RunMixWithBaseline(cfg Config) (*MixResult, error) {
+	var (
+		mr  *MixResult
+		ref []float64
+	)
+	jobs := []runner.Job[struct{}]{
+		{Name: "mix:" + cfg.Seed, Run: func() (struct{}, error) {
+			var err error
+			mr, err = RunMix(cfg)
+			return struct{}{}, err
+		}},
+		{Name: "ref:" + cfg.Seed, Run: func() (struct{}, error) {
+			var err error
+			ref, err = OoOReference(cfg.Benchmarks, cfg.TargetInsts, cfg.Seed)
+			return struct{}{}, err
+		}},
+	}
+	if _, err := runner.Run(workers(cfg.Parallel), jobs); err != nil {
+		var je *runner.JobError
+		if errors.As(err, &je) {
+			return nil, je.Err
+		}
 		return nil, err
 	}
 	mr.STP = stats.STP(mr.PerAppIPC, ref)
@@ -313,7 +356,11 @@ var FairSet = []struct {
 	{PolicySCMPKI, TopologyMirage},
 }
 
-// Compare runs the standard arbitrator line-up on one mix.
+// Compare runs the standard arbitrator line-up on one mix. The reference,
+// Homo-InO and per-policy runs are independent simulations with disjoint
+// seeds, so with base.Parallel > 1 they fan out to a worker pool; STPs are
+// derived afterwards in the fixed serial order against the collated
+// reference IPCs, keeping the Comparison bit-identical at any parallelism.
 func Compare(mix []string, base Config, set []struct {
 	Policy   Policy
 	Topology Topology
@@ -324,32 +371,41 @@ func Compare(mix []string, base Config, set []struct {
 	refCfg.Topology = TopologyHomoOoO
 	refCfg.Benchmarks = mix
 	refCfg.Policy = ""
-	homoOoO, err := RunMix(refCfg)
-	if err != nil {
-		return nil, err
-	}
-	cmp.HomoOoO = homoOoO
-	cmp.RefIPC = homoOoO.PerAppIPC
-	homoOoO.STP = 1
-
 	inoCfg := refCfg
 	inoCfg.Topology = TopologyHomoInO
-	homoInO, err := RunMix(inoCfg)
-	if err != nil {
-		return nil, err
-	}
-	homoInO.STP = stats.STP(homoInO.PerAppIPC, cmp.RefIPC)
-	cmp.HomoInO = homoInO
 
+	cfgs := []Config{refCfg, inoCfg}
 	for _, pt := range set {
 		cfg := base
 		cfg.Benchmarks = mix
 		cfg.Topology = pt.Topology
 		cfg.Policy = pt.Policy
-		mr, err := RunMix(cfg)
-		if err != nil {
-			return nil, err
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runner.Map(workers(base.Parallel), cfgs,
+		func(i int, cfg Config) string {
+			return fmt.Sprintf("compare:%s:%s:%s", cfg.Seed, cfg.Topology, cfg.Policy)
+		},
+		func(i int, cfg Config) (*MixResult, error) { return RunMix(cfg) })
+	if err != nil {
+		var je *runner.JobError
+		if errors.As(err, &je) {
+			return nil, je.Err
 		}
+		return nil, err
+	}
+
+	homoOoO := results[0]
+	cmp.HomoOoO = homoOoO
+	cmp.RefIPC = homoOoO.PerAppIPC
+	homoOoO.STP = 1
+
+	homoInO := results[1]
+	homoInO.STP = stats.STP(homoInO.PerAppIPC, cmp.RefIPC)
+	cmp.HomoInO = homoInO
+
+	for si, pt := range set {
+		mr := results[2+si]
 		mr.STP = stats.STP(mr.PerAppIPC, cmp.RefIPC)
 		cmp.ByPolicy[pt.Policy] = mr
 	}
@@ -370,6 +426,8 @@ const (
 )
 
 // RandomMixes builds `count` workload mixes of `size` applications each.
+// Mix composition depends only on (kind, size, count, seed) — callers can
+// materialise the same mix list before fanning simulations out in parallel.
 func RandomMixes(kind MixKind, size, count int, seed string) [][]string {
 	var pool []string
 	switch kind {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/ooo"
 	"repro/internal/program"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -59,21 +60,39 @@ func Figure11(s Scale) (*Report, error) {
 	r.Table.Title = "Figure 11: 8:1 by benchmark category"
 	r.Table.Headers = []string{"mix", "metric", "Homo-InO", "SC-MPKI", "SC-MPKI+maxSTP", "maxSTP"}
 
-	for _, kindRow := range []struct {
+	kinds := []struct {
 		label string
 		kind  core.MixKind
 	}{
 		{"HPD", core.MixHPD},
 		{"LPD", core.MixLPD},
 		{"Random", core.MixRandom},
-	} {
-		mixes := core.RandomMixes(kindRow.kind, 8, s.MixesPerPoint, "fig11-"+kindRow.label)
+	}
+	// Flatten the (category, mix) grid into independent Compare jobs, then
+	// average over the collated results in the old serial order.
+	type f11Job struct {
+		label string
+		mi    int
+		mix   []string
+	}
+	var jobs []f11Job
+	for _, kr := range kinds {
+		for mi, mix := range core.RandomMixes(kr.kind, 8, s.MixesPerPoint, "fig11-"+kr.label) {
+			jobs = append(jobs, f11Job{label: kr.label, mi: mi, mix: mix})
+		}
+	}
+	cmps, err := runner.Map(s.workers(), jobs,
+		func(_ int, j f11Job) string { return fmt.Sprintf("fig11/%s-%d", j.label, j.mi) },
+		func(_ int, j f11Job) (*core.Comparison, error) {
+			return core.Compare(j.mix, s.baseConfig(fmt.Sprintf("f11-%s-%d", j.label, j.mi)), core.ArbitratorSet)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ki, kr := range kinds {
 		var stp, util, egy [4]float64 // HomoInO, SCMPKI, SCMPKI+maxSTP, maxSTP
-		for mi, mix := range mixes {
-			cmp, err := core.Compare(mix, s.baseConfig(fmt.Sprintf("f11-%s-%d", kindRow.label, mi)), core.ArbitratorSet)
-			if err != nil {
-				return nil, err
-			}
+		for mi := 0; mi < s.MixesPerPoint; mi++ {
+			cmp := cmps[ki*s.MixesPerPoint+mi]
 			eOoO := cmp.HomoOoO.EnergyPJ
 			stp[0] += cmp.HomoInO.STP
 			egy[0] += cmp.HomoInO.EnergyPJ / eOoO
@@ -84,10 +103,10 @@ func Figure11(s Scale) (*Report, error) {
 				egy[pi+1] += mr.EnergyPJ / eOoO
 			}
 		}
-		k := float64(len(mixes))
-		r.Table.AddRow(kindRow.label, "STP", stats.Pct(stp[0]/k), stats.Pct(stp[1]/k), stats.Pct(stp[2]/k), stats.Pct(stp[3]/k))
-		r.Table.AddRow(kindRow.label, "OoO util", "-", stats.Pct(util[1]/k), stats.Pct(util[2]/k), stats.Pct(util[3]/k))
-		r.Table.AddRow(kindRow.label, "energy", stats.Pct(egy[0]/k), stats.Pct(egy[1]/k), stats.Pct(egy[2]/k), stats.Pct(egy[3]/k))
+		k := float64(s.MixesPerPoint)
+		r.Table.AddRow(kr.label, "STP", stats.Pct(stp[0]/k), stats.Pct(stp[1]/k), stats.Pct(stp[2]/k), stats.Pct(stp[3]/k))
+		r.Table.AddRow(kr.label, "OoO util", "-", stats.Pct(util[1]/k), stats.Pct(util[2]/k), stats.Pct(util[3]/k))
+		r.Table.AddRow(kr.label, "energy", stats.Pct(egy[0]/k), stats.Pct(egy[1]/k), stats.Pct(egy[2]/k), stats.Pct(egy[3]/k))
 	}
 	return r, nil
 }
@@ -106,7 +125,10 @@ func Figure12(s Scale) (*Report, error) {
 	}
 	r.Table.Headers = headers
 
-	cmp, err := core.Compare(mix, s.baseConfig("fig12"), core.FairSet)
+	// A single Compare call: let it fan its policy runs out internally.
+	base := s.baseConfig("fig12")
+	base.Parallel = s.workers()
+	cmp, err := core.Compare(mix, base, core.FairSet)
 	if err != nil {
 		return nil, err
 	}
@@ -128,24 +150,37 @@ func Figure12(s Scale) (*Report, error) {
 	return r, nil
 }
 
-// OoOShares returns each app's share of total OoO time under a policy (for
-// the fairness property tests).
-func OoOShares(s Scale, mix []string, policy core.Policy, topo core.Topology) ([]float64, error) {
-	cfg := s.baseConfig("shares")
-	cfg.Topology = topo
-	cfg.Policy = policy
-	cfg.Benchmarks = mix
-	mr, err := core.RunMix(cfg)
+// OoOShares returns each app's share of total OoO time under each policy of
+// the line-up, keyed by policy (for the fairness property tests). The
+// per-policy runs are independent and fan out to the scale's worker pool.
+func OoOShares(s Scale, mix []string, set []struct {
+	Policy   core.Policy
+	Topology core.Topology
+}) (map[core.Policy][]float64, error) {
+	cfgs := make([]core.Config, len(set))
+	for i, pt := range set {
+		cfg := s.baseConfig("shares")
+		cfg.Topology = pt.Topology
+		cfg.Policy = pt.Policy
+		cfg.Benchmarks = mix
+		cfgs[i] = cfg
+	}
+	mrs, err := runMixes(s, "shares", cfgs)
 	if err != nil {
 		return nil, err
 	}
-	shares := make([]float64, len(mr.Cluster.Apps))
-	for i, a := range mr.Cluster.Apps {
-		if mr.Cluster.RunCycles > 0 {
-			shares[i] = float64(a.OoOCycles) / float64(mr.Cluster.RunCycles)
+	out := make(map[core.Policy][]float64, len(set))
+	for i, pt := range set {
+		mr := mrs[i]
+		shares := make([]float64, len(mr.Cluster.Apps))
+		for ai, a := range mr.Cluster.Apps {
+			if mr.Cluster.RunCycles > 0 {
+				shares[ai] = float64(a.OoOCycles) / float64(mr.Cluster.RunCycles)
+			}
 		}
+		out[pt.Policy] = shares
 	}
-	return shares, nil
+	return out, nil
 }
 
 // Figure13 evaluates the fair arbitrators across cluster sizes:
@@ -162,14 +197,28 @@ func Figure13(s Scale) (*Report, error) {
 		{core.PolicySCMPKIFair, core.TopologyMirage},
 		{core.PolicyFair, core.TopologyTraditional},
 	}
+	type f13Job struct {
+		n, mi int
+		mix   []string
+	}
+	var jobs []f13Job
 	for _, n := range s.NValues {
-		mixes := core.RandomMixes(core.MixRandom, n, s.MixesPerPoint, fmt.Sprintf("fig13-%d", n))
+		for mi, mix := range core.RandomMixes(core.MixRandom, n, s.MixesPerPoint, fmt.Sprintf("fig13-%d", n)) {
+			jobs = append(jobs, f13Job{n: n, mi: mi, mix: mix})
+		}
+	}
+	cmps, err := runner.Map(s.workers(), jobs,
+		func(_ int, j f13Job) string { return fmt.Sprintf("fig13/f13-%d-%d", j.n, j.mi) },
+		func(_ int, j f13Job) (*core.Comparison, error) {
+			return core.Compare(j.mix, s.baseConfig(fmt.Sprintf("f13-%d-%d", j.n, j.mi)), set)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range s.NValues {
 		var stpI, stpSF, stpF, utilSF, utilF, eI, eSF, eF float64
-		for mi, mix := range mixes {
-			cmp, err := core.Compare(mix, s.baseConfig(fmt.Sprintf("f13-%d-%d", n, mi)), set)
-			if err != nil {
-				return nil, err
-			}
+		for mi := 0; mi < s.MixesPerPoint; mi++ {
+			cmp := cmps[ni*s.MixesPerPoint+mi]
 			eOoO := cmp.HomoOoO.EnergyPJ
 			stpI += cmp.HomoInO.STP
 			eI += cmp.HomoInO.EnergyPJ / eOoO
@@ -182,7 +231,7 @@ func Figure13(s Scale) (*Report, error) {
 			eSF += sf.EnergyPJ / eOoO
 			eF += f.EnergyPJ / eOoO
 		}
-		k := float64(len(mixes))
+		k := float64(s.MixesPerPoint)
 		r.Table.AddRow(fmt.Sprint(n), "performance", stats.Pct(stpI/k), stats.Pct(stpSF/k), stats.Pct(stpF/k))
 		r.Table.AddRow(fmt.Sprint(n), "utilization", "-", stats.Pct(utilSF/k), stats.Pct(utilF/k))
 		r.Table.AddRow(fmt.Sprint(n), "energy", stats.Pct(eI/k), stats.Pct(eSF/k), stats.Pct(eF/k))
@@ -200,35 +249,48 @@ func Figure14(s Scale) (*Report, error) {
 	r.Table.Headers = []string{"metric", "8:1 SC-MPKI", "5:3 maxSTP"}
 
 	mixes := core.RandomMixes(core.MixRandom, 8, s.MixesPerPoint, "fig14")
+	// One job per mix: the Mirage comparison plus the 5:3 traditional run,
+	// executed inside the job in the old serial order.
+	type f14Point struct {
+		cmp *core.Comparison
+		tr  *core.MixResult
+	}
+	points, err := runner.Map(s.workers(), mixes,
+		func(mi int, _ []string) string { return fmt.Sprintf("fig14/f14-%d", mi) },
+		func(mi int, mix []string) (f14Point, error) {
+			base := s.baseConfig(fmt.Sprintf("f14-%d", mi))
+			cmp, err := core.Compare(mix, base, []struct {
+				Policy   core.Policy
+				Topology core.Topology
+			}{{core.PolicySCMPKI, core.TopologyMirage}})
+			if err != nil {
+				return f14Point{}, err
+			}
+			tCfg := base
+			tCfg.Topology = core.TopologyTraditional
+			tCfg.Policy = core.PolicyMaxSTP
+			tCfg.Benchmarks = mix
+			tCfg.NumOoO = 3
+			tr, err := core.RunMix(tCfg)
+			if err != nil {
+				return f14Point{}, err
+			}
+			tr.STP = stats.STP(tr.PerAppIPC, cmp.RefIPC)
+			return f14Point{cmp: cmp, tr: tr}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var stpM, stpT, utilM, utilT, eM, eT float64
-	for mi, mix := range mixes {
-		base := s.baseConfig(fmt.Sprintf("f14-%d", mi))
-
-		cmp, err := core.Compare(mix, base, []struct {
-			Policy   core.Policy
-			Topology core.Topology
-		}{{core.PolicySCMPKI, core.TopologyMirage}})
-		if err != nil {
-			return nil, err
-		}
-		m := cmp.ByPolicy[core.PolicySCMPKI]
+	for _, p := range points {
+		m := p.cmp.ByPolicy[core.PolicySCMPKI]
 		stpM += m.STP
 		utilM += m.OoOActiveFrac
-		eM += m.EnergyPJ / cmp.HomoOoO.EnergyPJ
+		eM += m.EnergyPJ / p.cmp.HomoOoO.EnergyPJ
 
-		tCfg := base
-		tCfg.Topology = core.TopologyTraditional
-		tCfg.Policy = core.PolicyMaxSTP
-		tCfg.Benchmarks = mix
-		tCfg.NumOoO = 3
-		tr, err := core.RunMix(tCfg)
-		if err != nil {
-			return nil, err
-		}
-		tr.STP = stats.STP(tr.PerAppIPC, cmp.RefIPC)
-		stpT += tr.STP
-		utilT += tr.OoOActiveFrac
-		eT += tr.EnergyPJ / cmp.HomoOoO.EnergyPJ
+		stpT += p.tr.STP
+		utilT += p.tr.OoOActiveFrac
+		eT += p.tr.EnergyPJ / p.cmp.HomoOoO.EnergyPJ
 	}
 	k := float64(len(mixes))
 	areaM := core.Area(core.TopologyMirage, 8) / core.Area(core.TopologyHomoOoO, 8)
@@ -263,26 +325,33 @@ func Figure15(s Scale) (*Report, error) {
 	r.Table.Title = "Figure 15: migration transfer costs (8:1, SC-MPKI)"
 	r.Table.Headers = []string{"mix", "SC transfer", "L1 refill", "migrations/100 intervals", "overhead"}
 
-	for _, kindRow := range []struct {
+	kinds := []struct {
 		label string
 		kind  core.MixKind
 	}{
 		{"HPD", core.MixHPD},
 		{"LPD", core.MixLPD},
 		{"Random", core.MixRandom},
-	} {
-		mixes := core.RandomMixes(kindRow.kind, 8, s.MixesPerPoint, "fig15-"+kindRow.label)
-		var scFrac, l1Frac, freq float64
-		var samples float64
-		for mi, mix := range mixes {
-			cfg := s.baseConfig(fmt.Sprintf("f15-%s-%d", kindRow.label, mi))
+	}
+	var cfgs []core.Config
+	for _, kr := range kinds {
+		for mi, mix := range core.RandomMixes(kr.kind, 8, s.MixesPerPoint, "fig15-"+kr.label) {
+			cfg := s.baseConfig(fmt.Sprintf("f15-%s-%d", kr.label, mi))
 			cfg.Topology = core.TopologyMirage
 			cfg.Policy = core.PolicySCMPKI
 			cfg.Benchmarks = mix
-			mr, err := core.RunMix(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	mrs, err := runMixes(s, "fig15", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for ki, kr := range kinds {
+		var scFrac, l1Frac, freq float64
+		var samples float64
+		for mi := 0; mi < s.MixesPerPoint; mi++ {
+			mr := mrs[ki*s.MixesPerPoint+mi]
 			for _, a := range mr.Cluster.Apps {
 				if a.Cycles == 0 {
 					continue
@@ -296,7 +365,7 @@ func Figure15(s Scale) (*Report, error) {
 		if samples == 0 {
 			continue
 		}
-		r.Table.AddRow(kindRow.label,
+		r.Table.AddRow(kr.label,
 			fmt.Sprintf("%.3f%%", 100*scFrac/samples),
 			fmt.Sprintf("%.3f%%", 100*l1Frac/samples),
 			stats.F(freq/samples),

@@ -13,8 +13,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -31,9 +33,34 @@ type Scale struct {
 	NValues []int
 	// TimelineIntervals is the length of timeline case studies (Figs 5/10).
 	TimelineIntervals int
+	// Parallel bounds how many simulations an experiment runs concurrently:
+	// 0 (the default) uses runtime.GOMAXPROCS, 1 forces serial execution,
+	// larger values cap the worker pool. Every experiment produces
+	// bit-identical reports at any setting (DESIGN.md §8); only wall-clock
+	// time changes.
+	Parallel int
 	// Telemetry, when non-nil, instruments every simulation the experiments
 	// launch. All runs share the registry, so counters are harness totals.
+	// With Parallel > 1 counters still accumulate race-free, but snapshot
+	// gauges and trace-event interleaving reflect whichever run touched
+	// them last — see DESIGN.md §8.
 	Telemetry *telemetry.Telemetry
+}
+
+// workers lowers Scale.Parallel to a runner worker count.
+func (s Scale) workers() int {
+	if s.Parallel == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Parallel
+}
+
+// runMixes simulates a batch of independent configurations on the scale's
+// worker pool, returning results in input order. name labels jobs in errors.
+func runMixes(s Scale, name string, cfgs []core.Config) ([]*core.MixResult, error) {
+	return runner.Map(s.workers(), cfgs,
+		func(_ int, cfg core.Config) string { return name + "/" + cfg.Seed + ":" + string(cfg.Policy) },
+		func(_ int, cfg core.Config) (*core.MixResult, error) { return core.RunMix(cfg) })
 }
 
 // QuickScale runs every experiment in seconds-to-minutes.
@@ -139,48 +166,76 @@ type sweepResult struct {
 	byPolicy map[core.Policy][]sweepPoint
 }
 
-var sweepCache = map[string]*sweepResult{}
+var sweepCache runner.Cache[string, *sweepResult]
 
-// runSweep simulates the arbitrator line-up across cluster sizes.
+// ResetCaches drops every memoized simulation result the experiment layer
+// holds (the sweep, per-benchmark profile and CPI caches). The determinism
+// tests call it between serial and parallel passes so the second pass
+// recomputes instead of trivially replaying the first; long-lived harnesses
+// can call it to bound memory.
+func ResetCaches() {
+	sweepCache.Reset()
+	profileCache.Reset()
+	cpiCache.Reset()
+}
+
+// runSweep simulates the arbitrator line-up across cluster sizes. The
+// (n, mix) grid is flattened into independent jobs — each owns its seed, so
+// results are scheduling-independent — and the per-n averages below are
+// accumulated over the collated slice in the same order the old serial loop
+// used, keeping every downstream figure bit-identical at any parallelism.
 func runSweep(s Scale) (*sweepResult, error) {
 	key := fmt.Sprintf("%s/%d/%d/%d", s.Name, s.TargetInsts, s.IntervalCycles, s.MixesPerPoint)
-	if r, ok := sweepCache[key]; ok {
-		return r, nil
-	}
-	res := &sweepResult{byPolicy: make(map[core.Policy][]sweepPoint)}
-	for _, n := range s.NValues {
-		mixes := core.RandomMixes(core.MixRandom, n, s.MixesPerPoint, fmt.Sprintf("sweep-n%d", n))
-		var inO sweepPoint
-		acc := map[core.Policy]*sweepPoint{}
-		for _, pt := range core.ArbitratorSet {
-			acc[pt.Policy] = &sweepPoint{}
+	return sweepCache.Do(key, func() (*sweepResult, error) {
+		type sweepJob struct {
+			n, mi int
+			mix   []string
 		}
-		for mi, mix := range mixes {
-			cmp, err := core.Compare(mix, s.baseConfig(fmt.Sprintf("sw-%d-%d", n, mi)), core.ArbitratorSet)
-			if err != nil {
-				return nil, err
+		var jobs []sweepJob
+		for _, n := range s.NValues {
+			mixes := core.RandomMixes(core.MixRandom, n, s.MixesPerPoint, fmt.Sprintf("sweep-n%d", n))
+			for mi, mix := range mixes {
+				jobs = append(jobs, sweepJob{n: n, mi: mi, mix: mix})
 			}
-			eOoO := cmp.HomoOoO.EnergyPJ
-			inO.stp += cmp.HomoInO.STP
-			inO.energy += cmp.HomoInO.EnergyPJ / eOoO
+		}
+		cmps, err := runner.Map(s.workers(), jobs,
+			func(_ int, j sweepJob) string { return fmt.Sprintf("sweep/sw-%d-%d", j.n, j.mi) },
+			func(_ int, j sweepJob) (*core.Comparison, error) {
+				return core.Compare(j.mix, s.baseConfig(fmt.Sprintf("sw-%d-%d", j.n, j.mi)), core.ArbitratorSet)
+			})
+		if err != nil {
+			return nil, err
+		}
+		res := &sweepResult{byPolicy: make(map[core.Policy][]sweepPoint)}
+		for ni, n := range s.NValues {
+			var inO sweepPoint
+			acc := map[core.Policy]*sweepPoint{}
 			for _, pt := range core.ArbitratorSet {
-				mr := cmp.ByPolicy[pt.Policy]
-				acc[pt.Policy].stp += mr.STP
-				acc[pt.Policy].energy += mr.EnergyPJ / eOoO
-				acc[pt.Policy].oooActive += mr.OoOActiveFrac
+				acc[pt.Policy] = &sweepPoint{}
+			}
+			for mi := 0; mi < s.MixesPerPoint; mi++ {
+				cmp := cmps[ni*s.MixesPerPoint+mi]
+				eOoO := cmp.HomoOoO.EnergyPJ
+				inO.stp += cmp.HomoInO.STP
+				inO.energy += cmp.HomoInO.EnergyPJ / eOoO
+				for _, pt := range core.ArbitratorSet {
+					mr := cmp.ByPolicy[pt.Policy]
+					acc[pt.Policy].stp += mr.STP
+					acc[pt.Policy].energy += mr.EnergyPJ / eOoO
+					acc[pt.Policy].oooActive += mr.OoOActiveFrac
+				}
+			}
+			k := float64(s.MixesPerPoint)
+			res.n = append(res.n, n)
+			res.homoInO = append(res.homoInO, sweepPoint{stp: inO.stp / k, energy: inO.energy / k})
+			for _, pt := range core.ArbitratorSet {
+				p := acc[pt.Policy]
+				res.byPolicy[pt.Policy] = append(res.byPolicy[pt.Policy],
+					sweepPoint{stp: p.stp / k, energy: p.energy / k, oooActive: p.oooActive / k})
 			}
 		}
-		k := float64(len(mixes))
-		res.n = append(res.n, n)
-		res.homoInO = append(res.homoInO, sweepPoint{stp: inO.stp / k, energy: inO.energy / k})
-		for _, pt := range core.ArbitratorSet {
-			p := acc[pt.Policy]
-			res.byPolicy[pt.Policy] = append(res.byPolicy[pt.Policy],
-				sweepPoint{stp: p.stp / k, energy: p.energy / k, oooActive: p.oooActive / k})
-		}
-	}
-	sweepCache[key] = res
-	return res, nil
+		return res, nil
+	})
 }
 
 // Figure7 reports STP relative to a Homo-OoO CMP for each arbitrator across

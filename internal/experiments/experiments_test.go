@@ -212,10 +212,14 @@ func TestFairnessCap(t *testing.T) {
 		t.Skip("experiment runs are slow")
 	}
 	mix := core.RandomMixes(core.MixRandom, 8, 1, "fair-cap")[0]
-	shares, err := OoOShares(tinyScale, mix, core.PolicySCMPKIFair, core.TopologyMirage)
+	byPolicy, err := OoOShares(tinyScale, mix, []struct {
+		Policy   core.Policy
+		Topology core.Topology
+	}{{core.PolicySCMPKIFair, core.TopologyMirage}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	shares := byPolicy[core.PolicySCMPKIFair]
 	for i, s := range shares {
 		// Each app stays near or below its 1/8 share of total time
 		// (Section 5.3); allow slack for the staleness escape hatch.
@@ -230,10 +234,14 @@ func TestMaxSTPStarves(t *testing.T) {
 		t.Skip("experiment runs are slow")
 	}
 	mix := core.RandomMixes(core.MixRandom, 8, 1, "starve")[0]
-	shares, err := OoOShares(tinyScale, mix, core.PolicyMaxSTP, core.TopologyTraditional)
+	byPolicy, err := OoOShares(tinyScale, mix, []struct {
+		Policy   core.Policy
+		Topology core.Topology
+	}{{core.PolicyMaxSTP, core.TopologyTraditional}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	shares := byPolicy[core.PolicyMaxSTP]
 	max, min := 0.0, 1.0
 	for _, s := range shares {
 		if s > max {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/ooo"
 	"repro/internal/program"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -34,13 +35,23 @@ func Figure3b(s Scale) (*Report, error) {
 	r.Table.Title = "Figure 3b: interval length trade-off"
 	r.Table.Headers = []string{"interval (cycles)", "perf vs no switching", "%insts memoized"}
 
-	for _, iv := range intervals {
-		perf, err := pingPongPerf(s, mix, iv)
-		if err != nil {
-			return nil, err
-		}
-		memo := refreshMemoizability(iv)
-		r.Table.AddRow(fmt.Sprint(iv), stats.Pct(perf), stats.Pct(memo))
+	// Each interval is an independent pair of measurements; fan them out and
+	// add rows from the collated slice in interval order.
+	type ivPoint struct{ perf, memo float64 }
+	points, err := runner.Map(s.workers(), intervals,
+		func(_ int, iv int64) string { return fmt.Sprintf("fig3b/iv-%d", iv) },
+		func(_ int, iv int64) (ivPoint, error) {
+			perf, err := pingPongPerf(s, mix, iv)
+			if err != nil {
+				return ivPoint{}, err
+			}
+			return ivPoint{perf: perf, memo: refreshMemoizability(iv)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, iv := range intervals {
+		r.Table.AddRow(fmt.Sprint(iv), stats.Pct(points[i].perf), stats.Pct(points[i].memo))
 	}
 	return r, nil
 }
@@ -114,22 +125,23 @@ func refreshMemoizability(interval int64) float64 {
 	return stats.Mean(vals)
 }
 
-var cpiCache = map[string]float64{}
+// cpiCache memoizes per-trace CPI measurements; runner.Cache keeps it safe
+// when several Figure 3b interval jobs hit the same trace concurrently.
+var cpiCache runner.Cache[string, float64]
 
 func approxCPI(bench string, l *program.Loop) float64 {
 	key := fmt.Sprintf("%s/%d", bench, l.Trace.ID)
-	if v, ok := cpiCache[key]; ok {
-		return v
-	}
-	h := mem.NewHierarchy()
-	co := ooo.New(h, xrand.NewString("f3b:"+bench))
-	ws := walkersFor(l.Trace, "f3b:"+bench)
-	co.MeasureTrace(l.Trace, l.Deps, ws, 60)
-	v := co.MeasureTrace(l.Trace, l.Deps, ws, 8).CyclesPerIter
-	if v <= 0 {
-		v = float64(l.Trace.Len())
-	}
-	cpiCache[key] = v
+	v, _ := cpiCache.Do(key, func() (float64, error) {
+		h := mem.NewHierarchy()
+		co := ooo.New(h, xrand.NewString("f3b:"+bench))
+		ws := walkersFor(l.Trace, "f3b:"+bench)
+		co.MeasureTrace(l.Trace, l.Deps, ws, 60)
+		v := co.MeasureTrace(l.Trace, l.Deps, ws, 8).CyclesPerIter
+		if v <= 0 {
+			v = float64(l.Trace.Len())
+		}
+		return v, nil
+	})
 	return v
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -23,18 +24,36 @@ func SCSize(s Scale) (*Report, error) {
 	r.Table.Headers = []string{"SC capacity", "STP vs Homo-OoO", "OoO active"}
 
 	mixes := core.RandomMixes(core.MixRandom, 8, s.MixesPerPoint, "scsize")
+	// Flatten the (capacity, mix) grid into independent baseline runs; the
+	// per-capacity averages accumulate over the collated slice in serial
+	// order.
+	type scJob struct {
+		capBytes, mi int
+		mix          []string
+	}
+	var jobs []scJob
 	for _, capBytes := range SCSizes {
-		var stp, util float64
 		for mi, mix := range mixes {
-			cfg := s.baseConfig(fmt.Sprintf("scsize-%d-%d", capBytes, mi))
+			jobs = append(jobs, scJob{capBytes: capBytes, mi: mi, mix: mix})
+		}
+	}
+	mrs, err := runner.Map(s.workers(), jobs,
+		func(_ int, j scJob) string { return fmt.Sprintf("scsize/%d-%d", j.capBytes, j.mi) },
+		func(_ int, j scJob) (*core.MixResult, error) {
+			cfg := s.baseConfig(fmt.Sprintf("scsize-%d-%d", j.capBytes, j.mi))
 			cfg.Topology = core.TopologyMirage
 			cfg.Policy = core.PolicySCMPKI
-			cfg.Benchmarks = mix
-			cfg.SCCapacityBytes = capBytes
-			mr, err := core.RunMixWithBaseline(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfg.Benchmarks = j.mix
+			cfg.SCCapacityBytes = j.capBytes
+			return core.RunMixWithBaseline(cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ci, capBytes := range SCSizes {
+		var stp, util float64
+		for mi := range mixes {
+			mr := mrs[ci*len(mixes)+mi]
 			stp += mr.STP
 			util += mr.OoOActiveFrac
 		}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/ooo"
 	"repro/internal/program"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -33,44 +34,46 @@ type benchProfile struct {
 	oraclePerfRel float64 // oracle-memoized InO performance relative to OoO
 }
 
-var profileCache = map[string]*benchProfile{}
+// profileCache memoizes per-benchmark profiles. It used to be a bare
+// package-global map — a latent data race once Table 1 / Figures 1-2 run
+// concurrently with anything else profiling; runner.Cache gives the same
+// memoization with singleflight semantics (see TestProfileConcurrent).
+var profileCache runner.Cache[string, *benchProfile]
 
 // profile measures one benchmark standalone on both core types.
 func profile(s Scale, name string) (*benchProfile, error) {
 	key := s.Name + "/" + name
-	if p, ok := profileCache[key]; ok {
+	return profileCache.Do(key, func() (*benchProfile, error) {
+		b := program.ByName(name)
+		if b == nil {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		p := &benchProfile{name: name, category: b.Params.Category}
+
+		for _, topo := range []core.Topology{core.TopologyHomoOoO, core.TopologyHomoInO} {
+			cfg := s.baseConfig("profile")
+			cfg.Topology = topo
+			cfg.Benchmarks = []string{name}
+			mr, err := core.RunMix(cfg)
+			if err != nil {
+				return nil, err
+			}
+			a := mr.Cluster.Apps[0]
+			switch topo {
+			case core.TopologyHomoOoO:
+				p.ipcOoO = a.IPC
+				p.energyOoO = a.EnergyPJ.Total()
+				p.powerOoO = a.EnergyPJ.Total() / float64(a.Cycles)
+			default:
+				p.ipcInO = a.IPC
+				p.energyInO = a.EnergyPJ.Total()
+				p.powerInO = a.EnergyPJ.Total() / float64(a.Cycles)
+			}
+		}
+
+		p.memoFrac, p.oraclePerfRel = oracleMemoization(b)
 		return p, nil
-	}
-	b := program.ByName(name)
-	if b == nil {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
-	}
-	p := &benchProfile{name: name, category: b.Params.Category}
-
-	for _, topo := range []core.Topology{core.TopologyHomoOoO, core.TopologyHomoInO} {
-		cfg := s.baseConfig("profile")
-		cfg.Topology = topo
-		cfg.Benchmarks = []string{name}
-		mr, err := core.RunMix(cfg)
-		if err != nil {
-			return nil, err
-		}
-		a := mr.Cluster.Apps[0]
-		switch topo {
-		case core.TopologyHomoOoO:
-			p.ipcOoO = a.IPC
-			p.energyOoO = a.EnergyPJ.Total()
-			p.powerOoO = a.EnergyPJ.Total() / float64(a.Cycles)
-		default:
-			p.ipcInO = a.IPC
-			p.energyInO = a.EnergyPJ.Total()
-			p.powerInO = a.EnergyPJ.Total() / float64(a.Cycles)
-		}
-	}
-
-	p.memoFrac, p.oraclePerfRel = oracleMemoization(b)
-	profileCache[key] = p
-	return p, nil
+	})
 }
 
 // oracleMemoization measures the Figure 2 quantities: with perfect control
@@ -138,16 +141,13 @@ func categoryAgg(ps []*benchProfile, f func(*benchProfile) float64) (overall, hp
 	return stats.Mean(all), stats.Mean(h), stats.Mean(l)
 }
 
+// allProfiles profiles the whole suite, fanning the per-benchmark jobs out
+// to the scale's worker pool; the cache's singleflight semantics keep each
+// benchmark profiled once even when figures run concurrently.
 func allProfiles(s Scale) ([]*benchProfile, error) {
-	var ps []*benchProfile
-	for _, name := range program.Names() {
-		p, err := profile(s, name)
-		if err != nil {
-			return nil, err
-		}
-		ps = append(ps, p)
-	}
-	return ps, nil
+	return runner.Map(s.workers(), program.Names(),
+		func(_ int, name string) string { return "profile/" + name },
+		func(_ int, name string) (*benchProfile, error) { return profile(s, name) })
 }
 
 // Table1 reproduces the benchmark classification: IPC ratio per benchmark

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -97,20 +98,34 @@ func Figure10(s Scale) (*Report, error) {
 	r.Table.Title = "Figure 10: case study (3 InO : 1 OoO), astar + hmmer + bzip2"
 	r.Table.Headers = []string{"arbitrator", "app", "%intervals on OoO", "speedup vs OoO"}
 
-	for _, pt := range []struct {
+	points := []struct {
 		policy core.Policy
 		topo   core.Topology
 	}{
 		{core.PolicyMaxSTP, core.TopologyTraditional},
 		{core.PolicySCMPKI, core.TopologyMirage},
-	} {
-		cmp, err := core.Compare(mix, s.baseConfig("fig10"), []struct {
-			Policy   core.Policy
-			Topology core.Topology
-		}{{pt.policy, pt.topo}})
-		if err != nil {
-			return nil, err
-		}
+	}
+	cmps, err := runner.Map(s.workers(), points,
+		func(_ int, pt struct {
+			policy core.Policy
+			topo   core.Topology
+		}) string {
+			return "fig10/" + string(pt.policy)
+		},
+		func(_ int, pt struct {
+			policy core.Policy
+			topo   core.Topology
+		}) (*core.Comparison, error) {
+			return core.Compare(mix, s.baseConfig("fig10"), []struct {
+				Policy   core.Policy
+				Topology core.Topology
+			}{{pt.policy, pt.topo}})
+		})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pt := range points {
+		cmp := cmps[pi]
 		mr := cmp.ByPolicy[pt.policy]
 		for i, a := range mr.Cluster.Apps {
 			onOoO := 0

@@ -8,6 +8,7 @@ package program
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/branch"
 )
@@ -140,22 +141,30 @@ func suiteParams() []Params {
 	}
 }
 
-var suiteCache map[string]*Benchmark
+// suiteOnce guards the lazily generated suite: experiment jobs resolve
+// benchmarks from concurrent goroutines (internal/runner), so generation
+// must happen exactly once. Generation is deterministic (each benchmark
+// seeds its own xrand stream from its name), so which goroutine wins the
+// race to generate changes nothing. The *Benchmark values are shared and
+// treated as immutable by every simulation layer.
+var (
+	suiteOnce  sync.Once
+	suiteCache map[string]*Benchmark
+)
 
-// Suite generates (and caches) the full benchmark suite.
+// Suite generates (and caches) the full benchmark suite. Safe for
+// concurrent use.
 func Suite() []*Benchmark {
 	params := suiteParams()
-	if suiteCache == nil {
+	suiteOnce.Do(func() {
 		suiteCache = make(map[string]*Benchmark, len(params))
-	}
+		for _, p := range params {
+			suiteCache[p.Name] = Generate(p)
+		}
+	})
 	out := make([]*Benchmark, 0, len(params))
 	for _, p := range params {
-		b, ok := suiteCache[p.Name]
-		if !ok {
-			b = Generate(p)
-			suiteCache[p.Name] = b
-		}
-		out = append(out, b)
+		out = append(out, suiteCache[p.Name])
 	}
 	return out
 }

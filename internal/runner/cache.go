@@ -1,0 +1,58 @@
+package runner
+
+import "sync"
+
+// Cache is a concurrency-safe keyed memoization with singleflight-style
+// per-key once semantics: the first caller of Do for a key runs fn; callers
+// arriving while fn runs block and share the result (value or error) instead
+// of recomputing it. It replaces the experiment layer's unsynchronized
+// package-global maps, which were latent data races once jobs run in
+// parallel.
+//
+// The zero value is ready to use.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	v    V
+	err  error
+}
+
+// Do returns the cached result for key, computing it with fn on first use.
+// Concurrent calls for the same key run fn exactly once; errors are cached
+// like values (deterministic workloads fail deterministically, so retrying
+// would recompute the same failure).
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*cacheEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.v, e.err = fn() })
+	return e.v, e.err
+}
+
+// Len returns the number of cached keys (entries whose computation has at
+// least started).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every cached entry. In-flight computations complete against
+// the old entries; callers after Reset recompute fresh. Used by the
+// determinism tests and by long-lived processes that want to bound memory.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}

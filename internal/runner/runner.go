@@ -1,0 +1,158 @@
+// Package runner is the parallel execution engine behind the experiment
+// harness: a bounded worker pool that runs a slice of named, independent
+// simulation jobs concurrently and collates their results in submission
+// order.
+//
+// Determinism is the design constraint. Every simulation in this repository
+// derives all of its randomness from a per-job seed string (internal/xrand),
+// so a job's result depends only on its own inputs — never on scheduling.
+// Because Run writes results into a slice indexed by submission order, any
+// arithmetic the caller performs over the collated slice happens in exactly
+// the order the serial loop would have used, making parallel output
+// bit-identical to serial output (see DESIGN.md §8 and
+// TestParallelMatchesSerial at the repository root).
+//
+// Error handling mirrors a serial loop: the returned error is the failure
+// with the lowest job index, which is the same error a serial loop would
+// have stopped at. The first observed failure also cancels jobs that have
+// not started yet; jobs already running finish (simulations cannot be
+// interrupted mid-run).
+//
+// The package is stdlib-only: sync, channels and runtime.GOMAXPROCS.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one named unit of work producing a T.
+type Job[T any] struct {
+	// Name labels the job in errors ("sweep/sw-8-1", "profile/bzip2").
+	Name string
+	// Run computes the job's result. It must be safe to call concurrently
+	// with other jobs' Run functions.
+	Run func() (T, error)
+}
+
+// JobError is a job failure, carrying the job's name and submission index.
+type JobError struct {
+	Name  string
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	return fmt.Sprintf("runner: job %q (#%d): %v", e.Name, e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Run executes jobs on up to `workers` goroutines and returns their results
+// in submission order: results[i] is jobs[i]'s result regardless of which
+// worker ran it or when it finished.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 runs the jobs
+// serially on the calling goroutine. On failure Run returns a *JobError
+// wrapping the lowest-indexed job error — the same job a serial loop would
+// have stopped at — and cancels jobs that have not started; in-flight jobs
+// run to completion but their results are discarded.
+func Run[T any](workers int, jobs []Job[T]) ([]T, error) {
+	n := len(jobs)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return runSerial(jobs)
+	}
+
+	results := make([]T, n)
+	var (
+		mu       sync.Mutex
+		firstErr *JobError
+	)
+	// cancelled reports whether job i should be skipped: only a recorded
+	// failure at a LOWER index cancels it. Skipping solely "after any
+	// failure" would be racy semantics: a higher-indexed job can fail first
+	// and suppress the job the serial loop would actually have stopped at.
+	// With this rule every job up to the lowest possible failure index still
+	// runs, so the reported error index provably equals the serial stop
+	// point, while everything past the failure is cancelled.
+	cancelled := func(i int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil && firstErr.Index < i
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if cancelled(i) {
+					continue // skip, keep draining
+				}
+				v, err := jobs[i].Run()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil || i < firstErr.Index {
+						firstErr = &JobError{Name: jobs[i].Name, Index: i, Err: err}
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = v
+			}
+		}()
+	}
+	// Feed indexes in submission order; workers drain the channel even after
+	// a failure, so this never blocks indefinitely.
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runSerial is the workers==1 path and the reference semantics: run each job
+// in order, stop at the first error.
+func runSerial[T any](jobs []Job[T]) ([]T, error) {
+	results := make([]T, len(jobs))
+	for i := range jobs {
+		v, err := jobs[i].Run()
+		if err != nil {
+			return nil, &JobError{Name: jobs[i].Name, Index: i, Err: err}
+		}
+		results[i] = v
+	}
+	return results, nil
+}
+
+// Map runs f over every item with bounded parallelism and returns the
+// results in item order. name labels jobs for errors; nil derives "job-i".
+func Map[S, T any](workers int, items []S, name func(i int, item S) string, f func(i int, item S) (T, error)) ([]T, error) {
+	jobs := make([]Job[T], len(items))
+	for i := range items {
+		i, item := i, items[i]
+		jn := fmt.Sprintf("job-%d", i)
+		if name != nil {
+			jn = name(i, item)
+		}
+		jobs[i] = Job[T]{Name: jn, Run: func() (T, error) { return f(i, item) }}
+	}
+	return Run(workers, jobs)
+}

@@ -1,0 +1,252 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRunEmpty(t *testing.T) {
+	res, err := Run[int](4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("empty job list returned %v", res)
+	}
+}
+
+// TestRunProperty is the engine's property test: for random job counts and
+// worker counts (seeded via xrand so failures replay), every job's result
+// arrives, in submission order, exactly once.
+func TestRunProperty(t *testing.T) {
+	rng := xrand.NewString("runner-property")
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(41)           // 0..40 jobs
+		workers := rng.Intn(10) - 1 // -1..8: exercise GOMAXPROCS default too
+		salt := int(rng.Intn(1 << 16))
+
+		ran := make([]atomic.Int64, n)
+		jobs := make([]Job[int], n)
+		for i := 0; i < n; i++ {
+			i := i
+			jobs[i] = Job[int]{
+				Name: fmt.Sprintf("trial%d/job%d", trial, i),
+				Run: func() (int, error) {
+					ran[i].Add(1)
+					return i*31 + salt, nil
+				},
+			}
+		}
+		res, err := Run(workers, jobs)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d workers=%d): %v", trial, n, workers, err)
+		}
+		if n == 0 {
+			if res != nil {
+				t.Fatalf("trial %d: empty jobs returned %v", trial, res)
+			}
+			continue
+		}
+		if len(res) != n {
+			t.Fatalf("trial %d: %d results for %d jobs", trial, len(res), n)
+		}
+		for i := 0; i < n; i++ {
+			if got := ran[i].Load(); got != 1 {
+				t.Errorf("trial %d: job %d ran %d times", trial, i, got)
+			}
+			if res[i] != i*31+salt {
+				t.Errorf("trial %d: results[%d] = %d, want %d (out-of-order collation)",
+					trial, i, res[i], i*31+salt)
+			}
+		}
+	}
+}
+
+// TestRunErrorCancelsStragglers verifies the cancellation contract: a failing
+// job stops jobs that have not started. Job 0 fails and releases a gate the
+// other jobs block on, so at the moment of failure each worker has started at
+// most one job — everything else must be skipped.
+func TestRunErrorCancelsStragglers(t *testing.T) {
+	const n, workers = 64, 4
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+	var started atomic.Int64
+	jobs := make([]Job[int], n)
+	jobs[0] = Job[int]{Name: "job0", Run: func() (int, error) {
+		started.Add(1)
+		close(gate)
+		return 0, boom
+	}}
+	for i := 1; i < n; i++ {
+		jobs[i] = Job[int]{Name: fmt.Sprintf("job%d", i), Run: func() (int, error) {
+			started.Add(1)
+			<-gate
+			return 0, nil
+		}}
+	}
+	res, err := Run(workers, jobs)
+	if res != nil {
+		t.Fatalf("failed run returned results: %v", res)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the job failure", err)
+	}
+	var je *JobError
+	if !errors.As(err, &je) || je.Index != 0 || je.Name != "job0" {
+		t.Fatalf("error %v, want JobError for job0/#0", err)
+	}
+	if got := started.Load(); got > workers {
+		t.Errorf("%d jobs started after failure; cancellation allows at most %d", got, workers)
+	}
+}
+
+// TestRunFirstErrorDeterministic: with several failing jobs, the reported
+// error is the lowest-indexed failure — exactly where a serial loop stops.
+func TestRunFirstErrorDeterministic(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 25; trial++ {
+		jobs := make([]Job[int], 12)
+		for i := range jobs {
+			i := i
+			var err error
+			switch i {
+			case 3:
+				err = errLow
+			case 7:
+				err = errHigh
+			}
+			jobs[i] = Job[int]{Name: fmt.Sprintf("job%d", i), Run: func() (int, error) { return i, err }}
+		}
+		for _, workers := range []int{1, 2, 5, 12} {
+			_, err := Run(workers, jobs)
+			if !errors.Is(err, errLow) {
+				t.Fatalf("workers=%d: error %v, want the lowest-indexed failure", workers, err)
+			}
+		}
+	}
+}
+
+func TestRunSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int64
+	jobs := []Job[int]{
+		{Name: "ok", Run: func() (int, error) { return 1, nil }},
+		{Name: "bad", Run: func() (int, error) { return 0, boom }},
+		{Name: "never", Run: func() (int, error) { after.Add(1); return 2, nil }},
+	}
+	if _, err := Run(1, jobs); !errors.Is(err, boom) {
+		t.Fatalf("error %v", err)
+	}
+	if after.Load() != 0 {
+		t.Error("serial run executed jobs past the first error")
+	}
+}
+
+func TestMapOrderAndNames(t *testing.T) {
+	items := []string{"a", "b", "c", "d"}
+	res, err := Map(3, items, nil, func(i int, s string) (string, error) {
+		return fmt.Sprintf("%d:%s", i, s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0:a", "1:b", "2:c", "3:d"}
+	for i := range want {
+		if res[i] != want[i] {
+			t.Errorf("res[%d] = %q, want %q", i, res[i], want[i])
+		}
+	}
+
+	boom := errors.New("boom")
+	_, err = Map(2, items, func(i int, s string) string { return "item/" + s },
+		func(i int, s string) (string, error) {
+			if i == 2 {
+				return "", boom
+			}
+			return s, nil
+		})
+	var je *JobError
+	if !errors.As(err, &je) || je.Name != "item/c" {
+		t.Fatalf("error %v, want JobError named item/c", err)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	var c Cache[string, int]
+	var computes atomic.Int64
+	const goroutines = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := c.Do("key", func() (int, error) {
+				computes.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+			results[g] = v
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("fn computed %d times for one key, want 1", got)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Errorf("goroutine %d saw %d", g, v)
+		}
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d keys, want 1", c.Len())
+	}
+}
+
+func TestCacheKeysIndependent(t *testing.T) {
+	var c Cache[int, int]
+	for k := 0; k < 5; k++ {
+		k := k
+		v, err := c.Do(k, func() (int, error) { return k * k, nil })
+		if err != nil || v != k*k {
+			t.Fatalf("key %d: (%d, %v)", k, v, err)
+		}
+	}
+	// Cached: fn must not run again.
+	v, err := c.Do(3, func() (int, error) { return -1, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("cached key 3: (%d, %v)", v, err)
+	}
+}
+
+func TestCacheErrorAndReset(t *testing.T) {
+	var c Cache[string, int]
+	boom := errors.New("boom")
+	if _, err := c.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error %v", err)
+	}
+	// The error is cached.
+	if _, err := c.Do("k", func() (int, error) { return 7, nil }); !errors.Is(err, boom) {
+		t.Fatalf("cached error lost: %v", err)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d keys after Reset", c.Len())
+	}
+	v, err := c.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("post-reset recompute: (%d, %v)", v, err)
+	}
+}
