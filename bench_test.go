@@ -247,10 +247,20 @@ func BenchmarkSweepParallel(b *testing.B) {
 	if serialNs == 0 || parallelNs == 0 {
 		return // a sub-benchmark was filtered out; nothing to compare
 	}
-	speedup := serialNs / parallelNs
 	cpus := runtime.GOMAXPROCS(0)
-	b.Logf("sweep speedup: %.2fx on %d CPUs (serial %.0f ns/op, parallel %.0f ns/op)",
-		speedup, cpus, serialNs, parallelNs)
+	// On a single-CPU machine the "speedup" is pure pool overhead, not a
+	// meaningful scaling number; record null so trajectory tooling skips the
+	// point instead of averaging in a ~1x.
+	var speedup any
+	if cpus > 1 {
+		s := serialNs / parallelNs
+		speedup = s
+		b.Logf("sweep speedup: %.2fx on %d CPUs (serial %.0f ns/op, parallel %.0f ns/op)",
+			s, cpus, serialNs, parallelNs)
+	} else {
+		b.Logf("single CPU: speedup not meaningful (serial %.0f ns/op, parallel %.0f ns/op)",
+			serialNs, parallelNs)
+	}
 	out := map[string]any{
 		"benchmark": "BenchmarkSweepParallel",
 		"unit":      "ns/op",

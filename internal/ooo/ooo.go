@@ -34,12 +34,16 @@ type Core struct {
 	Mem *mem.Hierarchy
 	rng *xrand.Rand
 	tel *telemetry.CoreMetrics
+	// eng is this core's private pipeline engine: measurement scratch is
+	// reused across the millions of MeasureTrace calls a sweep makes, and
+	// cores are built per worker, so ownership composes with -parallel.
+	eng *pipeline.Engine
 }
 
 // New builds an OoO core. The rng drives per-iteration stochastic events
 // (branch mispredictions, schedule variation draws).
 func New(h *mem.Hierarchy, rng *xrand.Rand) *Core {
-	return &Core{Mem: h, rng: rng}
+	return &Core{Mem: h, rng: rng, eng: pipeline.NewEngine()}
 }
 
 // AttachTelemetry resolves this core's counters in reg under prefix (e.g.
@@ -83,7 +87,7 @@ func (c *Core) MeasureTrace(t *trace.Trace, deps *trace.DepGraph, walkers []*mem
 		Mispredicts:       func(int) bool { return c.rng.Bool(t.MispredictRate) },
 		FetchGate:         func(it int) int { return fetchGates[it] },
 	}
-	res := pipeline.Run(req)
+	res := c.eng.Run(req)
 	if c.tel != nil {
 		c.tel.Measures.Inc()
 		c.tel.MeasuredCycles.Add(int64(res.Cycles))
@@ -119,26 +123,51 @@ func fetchStalls(h *mem.Hierarchy, t *trace.Trace, iters int) []int {
 	return gates
 }
 
+// memOp is one memory instruction of a trace with its walker resolved, so
+// the per-iteration latency loop neither rescans non-memory instructions nor
+// re-checks the stream bound per dynamic instruction.
+type memOp struct {
+	load   bool
+	stream uint8
+	w      *mem.Walker // nil when the stream index is out of range
+}
+
+// collectMemOps resolves a trace's memory instructions against its walkers
+// once, in program order.
+func collectMemOps(t *trace.Trace, walkers []*mem.Walker, buf []memOp) []memOp {
+	for _, in := range t.Insts {
+		switch in.Op {
+		case isa.Load, isa.Store:
+			op := memOp{load: in.Op == isa.Load, stream: in.MemStream}
+			if int(in.MemStream) < len(walkers) {
+				op.w = walkers[in.MemStream]
+			}
+			buf = append(buf, op)
+		}
+	}
+	return buf
+}
+
 // resolveMemLats walks the trace's address streams through the hierarchy in
 // program order, returning per-dynamic-load latencies.
 func (c *Core) resolveMemLats(t *trace.Trace, walkers []*mem.Walker, iters int) (lats []int, nLoads, nStores int) {
+	loads, stores := t.NumMemOps()
+	nLoads = loads * iters
+	nStores = stores * iters
+	if loads == 0 && stores == 0 {
+		return nil, 0, 0
+	}
+	ops := collectMemOps(t, walkers, make([]memOp, 0, loads+stores))
+	lats = make([]int, 0, nLoads)
 	for it := 0; it < iters; it++ {
-		for _, in := range t.Insts {
-			switch in.Op {
-			case isa.Load:
-				nLoads++
-				var lat int
-				if int(in.MemStream) < len(walkers) {
-					lat = c.Mem.LoadLatency(in.MemStream, walkers[in.MemStream].Next())
-				} else {
-					lat = mem.L1Latency
-				}
-				lats = append(lats, lat)
-			case isa.Store:
-				nStores++
-				if int(in.MemStream) < len(walkers) {
-					c.Mem.StoreAccess(in.MemStream, walkers[in.MemStream].Next())
-				}
+		for _, op := range ops {
+			switch {
+			case op.load && op.w != nil:
+				lats = append(lats, c.Mem.LoadLatency(op.stream, op.w.Next()))
+			case op.load:
+				lats = append(lats, mem.L1Latency)
+			case op.w != nil:
+				c.Mem.StoreAccess(op.stream, op.w.Next())
 			}
 		}
 	}

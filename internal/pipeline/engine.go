@@ -1,0 +1,688 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// The event-driven engine. The original engine rescanned every in-flight
+// instruction's predecessors every cycle and advanced time one cycle at a
+// time; this one propagates readiness along successor (wakeup) lists when an
+// instruction issues, keeps the ready set as an age-ordered bitmap, files
+// future wakeups in a calendar queue, and jumps over cycles in which nothing
+// can happen — charging the skipped span to the same stall counters the
+// cycle-by-cycle loop would have. Results are bit-identical to the original
+// engine (see reference_test.go and DESIGN.md §9 for the argument).
+
+// edyn is the per-dynamic-instruction state. Stored flat and reused across
+// runs; every field is (re)initialized by prepare.
+type edyn struct {
+	lat      int
+	issued   int // cycle issued, -1 before
+	complete int
+	readyAt  int   // running max of completes over *issued* predecessors
+	npred    int32 // predecessors not yet issued (counted with multiplicity)
+	static   int32 // index within the trace
+	iter     int32
+}
+
+// flatDeps is the CSR (compressed sparse row) flattening of a DepGraph:
+// predecessor and successor adjacency in single backing arrays, built once
+// per trace and memoized on the graph. Duplicate edges (both source operands
+// reading the same producer) are kept — npred counts them with multiplicity,
+// so the successor lists must too.
+//
+// For static instruction j, intra-iteration predecessors live at
+// preds[predOff[2j]:predOff[2j+1]] and loop-carried predecessors at
+// preds[predOff[2j+1]:predOff[2j+2]]; succOff/succs use the same layout for
+// the reverse edges.
+type flatDeps struct {
+	n       int
+	predOff []int32
+	preds   []int32
+	succOff []int32
+	succs   []int32
+}
+
+func flatDepsOf(g *trace.DepGraph) *flatDeps {
+	return g.Derived(func() any { return buildFlatDeps(g) }).(*flatDeps)
+}
+
+func buildFlatDeps(g *trace.DepGraph) *flatDeps {
+	n := len(g.Preds)
+	fd := &flatDeps{n: n}
+	total := 0
+	for j := 0; j < n; j++ {
+		total += len(g.Preds[j]) + len(g.CarriedPreds[j])
+	}
+	fd.predOff = make([]int32, 2*n+1)
+	fd.preds = make([]int32, 0, total)
+	for j := 0; j < n; j++ {
+		fd.predOff[2*j] = int32(len(fd.preds))
+		for _, p := range g.Preds[j] {
+			fd.preds = append(fd.preds, int32(p))
+		}
+		fd.predOff[2*j+1] = int32(len(fd.preds))
+		for _, p := range g.CarriedPreds[j] {
+			fd.preds = append(fd.preds, int32(p))
+		}
+	}
+	fd.predOff[2*n] = int32(len(fd.preds))
+
+	// Invert into successor lists, preserving multiplicity and, within each
+	// producer's list, consumer program order.
+	cnt := make([]int32, 2*n+1)
+	for j := 0; j < n; j++ {
+		for _, p := range g.Preds[j] {
+			cnt[2*p]++
+		}
+		for _, p := range g.CarriedPreds[j] {
+			cnt[2*p+1]++
+		}
+	}
+	fd.succOff = make([]int32, 2*n+1)
+	off := int32(0)
+	for i := 0; i < 2*n; i++ {
+		fd.succOff[i] = off
+		off += cnt[i]
+	}
+	fd.succOff[2*n] = off
+	fd.succs = make([]int32, total)
+	cursor := make([]int32, 2*n)
+	copy(cursor, fd.succOff[:2*n])
+	for j := 0; j < n; j++ {
+		for _, p := range g.Preds[j] {
+			fd.succs[cursor[2*p]] = int32(j)
+			cursor[2*p]++
+		}
+		for _, p := range g.CarriedPreds[j] {
+			fd.succs[cursor[2*p+1]] = int32(j)
+			cursor[2*p+1]++
+		}
+	}
+	return fd
+}
+
+// Engine holds the reusable simulation scratch: dynamic-instruction state,
+// the ready bitmap, the wakeup calendar, functional-unit occupancy, and the
+// issue-order sort buffer. A steady-state Run allocates only the two slices
+// the Result carries out (IterEnd and IssueOrder). An Engine is not safe for
+// concurrent use; each worker owns one (the package-level Run draws from a
+// pool).
+type Engine struct {
+	dyns     []edyn
+	iterGate []int
+	seq      []int32
+	cls      []isa.Class
+	ready    readySet
+	cal      calendar
+	fus      fuState
+	orderBuf []int32
+}
+
+// NewEngine returns an engine with empty scratch; buffers grow to fit the
+// largest request seen and are retained.
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.fus.init()
+	return e
+}
+
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+// Run simulates the request and returns the result. It panics on malformed
+// requests (simulator-internal misuse, not user input). The simulation runs
+// on a pooled engine; callers that measure in a loop should hold their own
+// Engine instead.
+func Run(req Request) Result {
+	e := enginePool.Get().(*Engine)
+	res := e.Run(req)
+	enginePool.Put(e)
+	return res
+}
+
+// Run simulates the request on this engine's scratch storage.
+func (e *Engine) Run(req Request) Result {
+	t := req.Trace
+	if t == nil || len(t.Insts) == 0 || req.Iterations <= 0 {
+		return Result{}
+	}
+	n := len(t.Insts)
+	if req.Width <= 0 {
+		req.Width = isa.IssueWidth
+	}
+	if req.Policy == Dataflow && req.Window <= 0 {
+		req.Window = isa.ROBSize
+	}
+	if req.ProbeSpan <= 0 {
+		req.ProbeSpan = 1
+	}
+	if req.ProbeSpan > req.Iterations {
+		req.ProbeSpan = req.Iterations
+	}
+	if req.Policy == RecordedOrder {
+		if len(req.Order) != n*req.ProbeSpan {
+			panic("pipeline: RecordedOrder requires a full probe-span order")
+		}
+		if req.Iterations%req.ProbeSpan != 0 {
+			req.Iterations += req.ProbeSpan - req.Iterations%req.ProbeSpan
+		}
+	}
+
+	fd := flatDepsOf(req.Deps)
+	e.prepare(&req, fd)
+
+	res := Result{IterEnd: make([]int, req.Iterations)}
+	switch req.Policy {
+	case Dataflow:
+		e.runDataflow(&req, fd, &res)
+	default:
+		e.runInOrder(&req, fd, &res)
+	}
+	span := req.ProbeSpan
+	probe := (req.Iterations / 2 / span) * span
+	if probe+span > req.Iterations {
+		probe = req.Iterations - span
+	}
+	e.extractProbe(probe*n, (probe+span)*n, &res)
+	return res
+}
+
+// prepare sizes the scratch for the request and initializes per-dynamic
+// state: latencies (drawing LoadLatency per dynamic load in program order,
+// exactly like the original engine), predecessor counts, and issue state.
+func (e *Engine) prepare(req *Request, fd *flatDeps) {
+	t := req.Trace
+	n := fd.n
+	iters := req.Iterations
+	total := n * iters
+
+	if cap(e.dyns) < total {
+		e.dyns = make([]edyn, total)
+	}
+	e.dyns = e.dyns[:total]
+	if cap(e.iterGate) < iters {
+		e.iterGate = make([]int, iters)
+	}
+	e.iterGate = e.iterGate[:iters]
+	for i := range e.iterGate {
+		e.iterGate[i] = 0
+	}
+	if cap(e.cls) < n {
+		e.cls = make([]isa.Class, n)
+	}
+	e.cls = e.cls[:n]
+	for j := 0; j < n; j++ {
+		e.cls[j] = t.Insts[j].Op
+	}
+
+	loadSeq := 0
+	for it := 0; it < iters; it++ {
+		base := it * n
+		for j := 0; j < n; j++ {
+			d := &e.dyns[base+j]
+			d.static = int32(j)
+			d.iter = int32(it)
+			d.issued = -1
+			d.complete = 0
+			d.readyAt = 0
+			op := e.cls[j]
+			d.lat = isa.Latency[op]
+			if op == isa.Load && req.LoadLatency != nil {
+				d.lat = req.LoadLatency(loadSeq)
+				loadSeq++
+			}
+			np := fd.predOff[2*j+1] - fd.predOff[2*j]
+			if it > 0 {
+				np += fd.predOff[2*j+2] - fd.predOff[2*j+1]
+			}
+			d.npred = np
+		}
+	}
+}
+
+// readyTime returns the earliest cycle idx can issue given its predecessors'
+// completion times, or -1 if a predecessor has not issued. Used by the
+// in-order paths, where predecessors always precede consumers in the issue
+// sequence.
+func (e *Engine) readyTime(fd *flatDeps, idx int) int {
+	d := &e.dyns[idx]
+	j := int(d.static)
+	base := int(d.iter) * fd.n
+	ready := 0
+	for _, p := range fd.preds[fd.predOff[2*j]:fd.predOff[2*j+1]] {
+		pd := &e.dyns[base+int(p)]
+		if pd.issued < 0 {
+			return -1
+		}
+		if pd.complete > ready {
+			ready = pd.complete
+		}
+	}
+	if d.iter > 0 {
+		cb := base - fd.n
+		for _, p := range fd.preds[fd.predOff[2*j+1]:fd.predOff[2*j+2]] {
+			pd := &e.dyns[cb+int(p)]
+			if pd.issued < 0 {
+				return -1
+			}
+			if pd.complete > ready {
+				ready = pd.complete
+			}
+		}
+	}
+	return ready
+}
+
+// wake notifies the successors of a just-issued instruction: fold its
+// completion time into their readyAt, drop their unresolved-predecessor
+// count, and when the count hits zero on an already-dispatched successor,
+// file a calendar wakeup. readyAt is then at least complete >= cycle+1
+// (every latency is >= 1), so the wakeup is strictly in the future — an
+// instruction can never become issue-eligible in the cycle its last
+// predecessor issues, which is exactly the original engine's readyTime rule.
+func (e *Engine) wake(fd *flatDeps, idx, cycle, dispatched, iters, complete int) {
+	d := &e.dyns[idx]
+	j := int(d.static)
+	base := int(d.iter) * fd.n
+	for _, k := range fd.succs[fd.succOff[2*j]:fd.succOff[2*j+1]] {
+		e.wakeOne(base+int(k), cycle, dispatched, complete)
+	}
+	if int(d.iter)+1 < iters {
+		nb := base + fd.n
+		for _, k := range fd.succs[fd.succOff[2*j+1]:fd.succOff[2*j+2]] {
+			e.wakeOne(nb+int(k), cycle, dispatched, complete)
+		}
+	}
+}
+
+func (e *Engine) wakeOne(s, cycle, dispatched, complete int) {
+	d := &e.dyns[s]
+	if complete > d.readyAt {
+		d.readyAt = complete
+	}
+	d.npred--
+	if d.npred == 0 && s < dispatched {
+		e.cal.schedule(cycle, d.readyAt, int32(s))
+	}
+}
+
+func (e *Engine) runDataflow(req *Request, fd *flatDeps, res *Result) {
+	n := fd.n
+	total := len(e.dyns)
+	width := req.Width
+	window := req.Window
+	iters := req.Iterations
+	iterGate := e.iterGate
+	e.ready.reset(total)
+	e.cal.reset()
+	e.fus.reset()
+	if req.FetchGate != nil {
+		iterGate[0] = req.FetchGate(0)
+	}
+
+	dispatched := 0 // next undispatched index
+	retired := 0
+	issuedCount := 0
+	inflightCount := 0 // dispatched but not yet issued
+	cycle := 0
+
+	for retired < total {
+		// Deliver wakeups due this cycle into the ready set.
+		e.cal.drain(cycle, func(idx int32) { e.ready.add(int(idx)) })
+
+		// Retire in order (commit width = issue width).
+		for c := 0; c < width && retired < total; c++ {
+			d := &e.dyns[retired]
+			if d.issued >= 0 && d.complete <= cycle {
+				retired++
+			} else {
+				break
+			}
+		}
+
+		// Dispatch into the window. An instruction whose operands are already
+		// complete goes straight to the ready set; one whose operands resolve
+		// at a known future cycle files a calendar wakeup; one with unissued
+		// predecessors is woken by them.
+		for c := 0; c < width && dispatched < total; c++ {
+			if dispatched-retired >= window {
+				break
+			}
+			if cycle < iterGate[dispatched/n] {
+				break
+			}
+			d := &e.dyns[dispatched]
+			if d.npred == 0 {
+				if d.readyAt <= cycle {
+					e.ready.add(dispatched)
+				} else {
+					e.cal.schedule(cycle, d.readyAt, int32(dispatched))
+				}
+			}
+			inflightCount++
+			dispatched++
+		}
+
+		// Issue oldest-ready-first: an ascending scan of the ready bitmap is
+		// age order, the same order the original engine walked its in-flight
+		// list — so FU claims and rng callback draws happen in the same order.
+		issuedThis := 0
+		fuBlocked := false
+		e.ready.scan(retired, dispatched, func(idx int) bool {
+			d := &e.dyns[idx]
+			op := e.cls[d.static]
+			if !e.fus.tryIssue(op, cycle) {
+				fuBlocked = true
+				return true // a later instruction of another class may fit
+			}
+			d.issued = cycle
+			d.complete = cycle + d.lat
+			res.FUBusy[isa.UnitFor(op)]++
+			issuedThis++
+			issuedCount++
+			inflightCount--
+			e.ready.remove(idx)
+			e.wake(fd, idx, cycle, dispatched, iters, d.complete)
+			if int(d.static) == n-1 {
+				if it := int(d.iter); it+1 < iters {
+					// Terminating branch: resolve the next iteration's
+					// front-end redirect.
+					gate := 0
+					if req.Mispredicts != nil && req.Mispredicts(it) {
+						gate = d.complete + req.MispredictPenalty
+					}
+					if req.FetchGate != nil {
+						if fg := req.FetchGate(it + 1); cycle+fg > gate {
+							gate = cycle + fg
+						}
+					}
+					if gate > iterGate[it+1] {
+						iterGate[it+1] = gate
+					}
+				}
+				res.IterEnd[d.iter] = d.complete
+			}
+			return issuedThis < width
+		})
+
+		if issuedThis == 0 && inflightCount > 0 {
+			res.LoadStallCycles++
+			if fuBlocked {
+				res.StallFUCycles++
+			} else {
+				res.StallDataCycles++
+			}
+		}
+		fetchGated := issuedThis == 0 && inflightCount == 0 && dispatched < total &&
+			cycle < iterGate[dispatched/n]
+		if fetchGated {
+			// The window is empty and the front end is gated: a pure fetch
+			// stall (mispredict redirect or I-fetch miss).
+			res.StallFetchCycles++
+		}
+
+		// Cycle skipping: if nothing issued and no per-cycle progress (retire
+		// or dispatch drain) is pending, jump to the next cycle at which the
+		// machine state can change, charging the skipped span to the same
+		// stall counters this cycle received — the skipped cycles are
+		// provably identical idle cycles.
+		if issuedThis == 0 && retired < total {
+			if next := e.nextDataflowEvent(cycle, retired, dispatched, total, window, n); next > cycle+1 {
+				span := next - cycle - 1
+				if inflightCount > 0 {
+					res.LoadStallCycles += span
+					if fuBlocked {
+						res.StallFUCycles += span
+					} else {
+						res.StallDataCycles += span
+					}
+				} else if fetchGated {
+					// The gate may open mid-span when dispatch stays
+					// window-blocked past it; fetch stalls are only counted
+					// while the gate is closed.
+					if g := iterGate[dispatched/n]; g < next {
+						res.StallFetchCycles += g - cycle - 1
+					} else {
+						res.StallFetchCycles += span
+					}
+				}
+				cycle = next - 1
+			}
+		}
+		cycle++
+		if cycle > 1<<26 {
+			panic("pipeline: dataflow simulation did not converge")
+		}
+	}
+	res.Issued = issuedCount
+	e.finishRun(n, res)
+}
+
+// nextDataflowEvent returns the earliest cycle after now at which the
+// dataflow machine state can change, or now+1 when the next cycle does
+// per-cycle work (width-limited retire or dispatch draining) and no skip is
+// possible. Candidate events: the in-order head completing (retirement and
+// window-full dispatch unblock), the front-end gate of the next iteration
+// opening, a calendar wakeup making an instruction data-ready, and a busy
+// functional unit freeing (only relevant when ready instructions exist —
+// in an idle cycle every ready instruction is FU-blocked).
+func (e *Engine) nextDataflowEvent(now, retired, dispatched, total, window, n int) int {
+	best := -1
+	upd := func(c int) {
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	if retired < total {
+		d := &e.dyns[retired]
+		if d.issued >= 0 {
+			if d.complete <= now {
+				return now + 1 // width-limited retirement continues next cycle
+			}
+			upd(d.complete)
+		}
+	}
+	if dispatched < total && dispatched-retired < window {
+		g := e.iterGate[dispatched/n]
+		if g <= now {
+			return now + 1 // dispatch has room and is not gated: it drains
+		}
+		upd(g)
+	}
+	if c := e.cal.next(now); c >= 0 {
+		upd(c)
+	}
+	if e.ready.count > 0 {
+		if c := e.fus.nextExpiry(now); c >= 0 {
+			upd(c)
+		}
+	}
+	if best < 0 {
+		return now + 1
+	}
+	return best
+}
+
+func (e *Engine) runInOrder(req *Request, fd *flatDeps, res *Result) {
+	n := fd.n
+	total := len(e.dyns)
+	width := req.Width
+	iters := req.Iterations
+	e.fus.reset()
+	issuedCount := 0
+	cycle := 0
+	gate := 0
+	if req.FetchGate != nil {
+		gate = req.FetchGate(0)
+	}
+
+	// Dynamic issue sequence: program order, or the recorded pattern repeated
+	// per span group. Program order needs no table — seq is the identity.
+	recorded := req.Policy == RecordedOrder
+	if recorded {
+		if cap(e.seq) < total {
+			e.seq = make([]int32, 0, total)
+		}
+		e.seq = e.seq[:0]
+		span := req.ProbeSpan
+		for g := 0; g < iters/span; g++ {
+			base := int32(g * span * n)
+			for _, pos := range req.Order {
+				e.seq = append(e.seq, base+int32(pos))
+			}
+		}
+	}
+	at := func(i int) int {
+		if recorded {
+			return int(e.seq[i])
+		}
+		return i
+	}
+
+	next := 0
+	for next < total {
+		if cycle < gate {
+			res.StallFetchCycles += gate - cycle
+			cycle = gate
+		}
+		issuedThis := 0
+		fuBlocked := false
+		var blockedOp isa.Class
+		for issuedThis < width && next < total {
+			d := &e.dyns[at(next)]
+			rt := e.readyTime(fd, at(next))
+			if rt < 0 {
+				panic("pipeline: in-order issue saw unissued predecessor")
+			}
+			if rt > cycle {
+				break // stall-on-use: strictly stop at first stalled inst
+			}
+			op := e.cls[d.static]
+			if !e.fus.tryIssue(op, cycle) {
+				fuBlocked = true
+				blockedOp = op
+				break
+			}
+			d.issued = cycle
+			d.complete = cycle + d.lat
+			res.FUBusy[isa.UnitFor(op)]++
+			issuedThis++
+			issuedCount++
+
+			if int(d.static) == n-1 {
+				res.IterEnd[d.iter] = d.complete
+				if it := int(d.iter); it+1 < iters {
+					g := 0
+					if req.Mispredicts != nil && req.Mispredicts(it) {
+						g = d.complete + req.MispredictPenalty
+					}
+					if req.FetchGate != nil {
+						if fg := req.FetchGate(it + 1); cycle+fg > g {
+							g = cycle + fg
+						}
+					}
+					if g > gate {
+						gate = g
+					}
+				}
+			}
+			next++
+		}
+		if issuedThis == 0 {
+			res.LoadStallCycles++
+			if fuBlocked {
+				res.StallFUCycles++
+			}
+			// Jump to the earliest cycle something can proceed.
+			rt := e.readyTime(fd, at(next))
+			if rt > cycle {
+				res.StallDataCycles += rt - cycle
+				cycle = rt
+				continue
+			}
+			if !fuBlocked {
+				res.StallDataCycles++
+			}
+			if fuBlocked {
+				// The head is data-ready but every unit of its class is busy
+				// past this cycle; each intervening cycle replays the same
+				// failed claim, so jump to the first expiry, charging the
+				// span as the per-cycle loop would have.
+				if m := e.fus.minBusyOf(isa.UnitFor(blockedOp), cycle); m > cycle+1 {
+					extra := m - cycle - 1
+					res.LoadStallCycles += extra
+					res.StallFUCycles += extra
+					cycle = m - 1
+				}
+			}
+			cycle++
+			if cycle > 1<<26 {
+				panic("pipeline: in-order simulation did not converge")
+			}
+			continue
+		}
+		cycle++
+	}
+	res.Issued = issuedCount
+	e.finishRun(n, res)
+}
+
+// finishRun derives Cycles and the per-iteration completion times from the
+// final dynamic state: IterEnd reflects the completion of every instruction
+// in the iteration, not just the terminating branch.
+func (e *Engine) finishRun(n int, res *Result) {
+	res.Cycles = 0
+	iters := len(e.dyns) / n
+	for it := 0; it < iters; it++ {
+		end := 0
+		for j := 0; j < n; j++ {
+			if c := e.dyns[it*n+j].complete; c > end {
+				end = c
+			}
+		}
+		res.IterEnd[it] = end
+		if end > res.Cycles {
+			res.Cycles = end
+		}
+	}
+}
+
+// extractProbe derives the issue order and reorder count of one probe block
+// (ProbeSpan iterations, dyns[lo:hi]). Block positions are it*n+j for
+// instruction j of the block's it-th iteration.
+func (e *Engine) extractProbe(lo, hi int, res *Result) {
+	n := hi - lo
+	if cap(e.orderBuf) < n {
+		e.orderBuf = make([]int32, n)
+	}
+	order := e.orderBuf[:n]
+	for i := range order {
+		order[i] = int32(i)
+	}
+	block := e.dyns[lo:hi]
+	// Insertion sort by (issue cycle, block position) — stable, tiny n.
+	for i := 1; i < n; i++ {
+		for k := i; k > 0; k-- {
+			a, b := &block[order[k-1]], &block[order[k]]
+			if a.issued > b.issued || (a.issued == b.issued && order[k-1] > order[k]) {
+				order[k-1], order[k] = order[k], order[k-1]
+			} else {
+				break
+			}
+		}
+	}
+	res.IssueOrder = make([]uint16, n)
+	maxSeen := int32(-1)
+	for k, idx := range order {
+		res.IssueOrder[k] = uint16(idx)
+		if idx < maxSeen {
+			res.Reordered++
+		}
+		if idx > maxSeen {
+			maxSeen = idx
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// randomRequest builds one random but well-formed request from a seed. It
+// returns a factory, not a request: both engines must receive their own
+// instance so stateful callbacks (seeded rngs) replay identically for each.
+func randomRequest(seed uint64) func() Request {
+	rng := xrand.New(seed)
+	tr := randomTrace(seed%50_000 + 1)
+	deps := trace.BuildDepGraph(tr)
+	policy := Policy(rng.Intn(3))
+	width := 1 + rng.Intn(4)
+	windows := []int{4, 8, 16, 32, 64, 128}
+	window := windows[rng.Intn(len(windows))]
+	iters := 1 + rng.Intn(10)
+	span := 1 + rng.Intn(4)
+	if span > iters {
+		span = iters
+	}
+	penalty := rng.Intn(16)
+
+	useMem := rng.Bool(0.7)
+	memSeed := rng.Uint64()
+	useMiss := rng.Bool(0.5)
+	missSeed := rng.Uint64()
+	missP := rng.Float64()
+	useGate := rng.Bool(0.5)
+	gateEvery := 1 + rng.Intn(4)
+	gateStall := 1 + rng.Intn(40)
+
+	var order []uint16
+	if policy == RecordedOrder {
+		order = recordedOrderFor(tr, span)
+	}
+
+	return func() Request {
+		req := Request{
+			Trace:             tr,
+			Deps:              deps,
+			Iterations:        iters,
+			Policy:            policy,
+			Order:             order,
+			ProbeSpan:         span,
+			Width:             width,
+			Window:            window,
+			MispredictPenalty: penalty,
+		}
+		if useMem {
+			req.LoadLatency = memLatPattern(memSeed)
+		}
+		if useMiss {
+			req.Mispredicts = mispredictPattern(missSeed, missP)
+		}
+		if useGate {
+			req.FetchGate = fetchGatePattern(gateEvery, gateStall)
+		}
+		return req
+	}
+}
+
+// TestEquivalenceWithReference drives ~200 random trace/dep/latency configs
+// through the event-driven engine and the frozen pre-rewrite reference, and
+// requires the Results to match field for field — cycles, IterEnd, the full
+// stall breakdown, FUBusy, Issued, IssueOrder and Reordered.
+func TestEquivalenceWithReference(t *testing.T) {
+	failures := 0
+	for seed := uint64(1); seed <= 200; seed++ {
+		mk := randomRequest(seed*2654435761 + 17)
+		want := referenceRun(mk())
+		got := Run(mk())
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d (policy %d): engine diverged from reference\n got: %+v\nwant: %+v",
+				seed, mk().Policy, got, want)
+			if failures++; failures >= 5 {
+				t.Fatal("stopping after 5 divergent seeds")
+			}
+		}
+	}
+}
+
+// TestEquivalenceEngineReuse re-runs a mix of requests through one shared
+// Engine and requires results identical to fresh pooled runs: scratch reuse
+// must not leak state between simulations.
+func TestEquivalenceEngineReuse(t *testing.T) {
+	e := NewEngine()
+	for seed := uint64(1); seed <= 60; seed++ {
+		mk := randomRequest(seed*911 + 3)
+		want := referenceRun(mk())
+		got := e.Run(mk())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: reused engine diverged from reference\n got: %+v\nwant: %+v", seed, got, want)
+		}
+	}
+}
+
+// refMaxLiveVersions is the pre-rewrite O(n^2) overlap sweep, kept as the
+// oracle for the sort-based linear sweep that replaced it.
+func refMaxLiveVersions(t *trace.Trace, order []uint16) int {
+	n := len(order)
+	inst := func(p int) isa.Inst { return t.Insts[p%len(t.Insts)] }
+	pos := make([]int, n)
+	for k, s := range order {
+		pos[s] = k
+	}
+	type life struct{ start, end int }
+	lives := make(map[isa.Reg][]life)
+	lastWrite := make(map[isa.Reg]int)
+	writeEnd := make(map[int]int)
+
+	for j := 0; j < n; j++ {
+		in := inst(j)
+		for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
+			if !src.Valid() {
+				continue
+			}
+			if w, ok := lastWrite[src]; ok {
+				if pos[j] > writeEnd[w] {
+					writeEnd[w] = pos[j]
+				}
+			}
+		}
+		if in.HasDst() {
+			lastWrite[in.Dst] = j
+		}
+	}
+	for j := 0; j < n; j++ {
+		in := inst(j)
+		if !in.HasDst() {
+			continue
+		}
+		end, ok := writeEnd[j]
+		if !ok {
+			end = pos[j]
+		}
+		if lastWrite[in.Dst] == j {
+			end = n
+		}
+		lives[in.Dst] = append(lives[in.Dst], life{start: pos[j], end: end})
+	}
+	maxV := 1
+	for _, ls := range lives {
+		for _, a := range ls {
+			overlap := 0
+			for _, b := range ls {
+				if b.start <= a.start && a.start <= b.end {
+					overlap++
+				}
+			}
+			if overlap > maxV {
+				maxV = overlap
+			}
+		}
+	}
+	return maxV
+}
+
+// TestMaxLiveVersionsMatchesReference checks the linear sweep against the
+// O(n^2) oracle over random schedules of random traces.
+func TestMaxLiveVersionsMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 120; seed++ {
+		tr := randomTrace(seed%50_000 + 7_000)
+		span := 1 + int(seed%4)
+		res := referenceRun(Request{
+			Trace: tr, Deps: trace.BuildDepGraph(tr), Iterations: 8,
+			Policy: Dataflow, Width: 3, Window: 128, ProbeSpan: span,
+		})
+		got := MaxLiveVersions(tr, res.IssueOrder)
+		want := refMaxLiveVersions(tr, res.IssueOrder)
+		if got != want {
+			t.Errorf("seed %d span %d: MaxLiveVersions %d, reference %d", seed, span, got, want)
+		}
+	}
+}

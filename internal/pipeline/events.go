@@ -1,0 +1,219 @@
+package pipeline
+
+import (
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// calendar is a calendar queue bucketed by cycle: pending wakeup events
+// (instructions whose operands become ready at a known future cycle) live in
+// the bucket of their cycle. The ring covers a power-of-two horizon of
+// future cycles; scheduling past the horizon grows the ring. Buckets are
+// reused across runs, so the steady state allocates nothing.
+type calendar struct {
+	buckets [][]int32 // buckets[c&mask] holds the events of cycle c
+	mask    int
+	pending int // events scheduled and not yet drained
+}
+
+func (q *calendar) reset() {
+	if q.buckets == nil {
+		q.buckets = make([][]int32, 256)
+		q.mask = 255
+	}
+	if q.pending > 0 {
+		for i := range q.buckets {
+			q.buckets[i] = q.buckets[i][:0]
+		}
+	}
+	q.pending = 0
+}
+
+// schedule files a wakeup for idx at cycle at (strictly after now).
+func (q *calendar) schedule(now, at int, idx int32) {
+	if at-now > q.mask {
+		q.grow(now, at-now)
+	}
+	q.buckets[at&q.mask] = append(q.buckets[at&q.mask], idx)
+	q.pending++
+}
+
+// grow widens the ring to cover at least horizon future cycles, re-homing
+// the pending events (each live bucket holds exactly one cycle's events, at
+// most mask cycles ahead of now).
+func (q *calendar) grow(now, horizon int) {
+	size := len(q.buckets)
+	for size-1 < horizon {
+		size <<= 1
+	}
+	nb := make([][]int32, size)
+	nmask := size - 1
+	for off := 0; off <= q.mask; off++ {
+		c := now + off
+		old := q.buckets[c&q.mask]
+		if len(old) > 0 {
+			nb[c&nmask] = append(nb[c&nmask], old...)
+		}
+	}
+	q.buckets = nb
+	q.mask = nmask
+}
+
+// drain invokes fn for every event filed at exactly cycle now and empties
+// the bucket. The skip logic guarantees no bucket before now is non-empty.
+func (q *calendar) drain(now int, fn func(int32)) {
+	b := q.buckets[now&q.mask]
+	if len(b) == 0 {
+		return
+	}
+	q.pending -= len(b)
+	for _, idx := range b {
+		fn(idx)
+	}
+	q.buckets[now&q.mask] = b[:0]
+}
+
+// next returns the earliest cycle > now holding a pending event, or -1 if
+// none are pending. Events are always within the ring horizon of now.
+func (q *calendar) next(now int) int {
+	if q.pending == 0 {
+		return -1
+	}
+	for off := 1; off <= q.mask+1; off++ {
+		if len(q.buckets[(now+off)&q.mask]) > 0 {
+			return now + off
+		}
+	}
+	return -1
+}
+
+// readySet is the age-ordered set of dispatched, unissued, operand-ready
+// instructions: a bitmap over dynamic instruction indexes. Ascending bit
+// order is age order, so oldest-ready-first selection is a find-first-set
+// scan, and insert/remove are O(1) — this replaces the O(window) slice
+// delete of the previous engine.
+type readySet struct {
+	words []uint64
+	count int
+}
+
+func (s *readySet) reset(total int) {
+	n := (total + 63) >> 6
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	} else {
+		s.words = s.words[:n]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.count = 0
+}
+
+func (s *readySet) add(idx int) {
+	s.words[idx>>6] |= 1 << (idx & 63)
+	s.count++
+}
+
+func (s *readySet) remove(idx int) {
+	s.words[idx>>6] &^= 1 << (idx & 63)
+	s.count--
+}
+
+// scan calls fn on each set index in ascending (age) order within
+// [lo, hi), stopping early when fn returns false. fn may remove the index
+// it was called on, but must not set or clear other bits.
+func (s *readySet) scan(lo, hi int, fn func(int) bool) {
+	if s.count == 0 || hi <= lo {
+		return
+	}
+	w := lo >> 6
+	last := (hi - 1) >> 6
+	for ; w <= last; w++ {
+		word := s.words[w]
+		if w == lo>>6 {
+			word &^= (1 << (lo & 63)) - 1 // mask bits below lo
+		}
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << bit
+			idx := w<<6 + bit
+			if idx >= hi {
+				return
+			}
+			if !fn(idx) {
+				return
+			}
+		}
+	}
+}
+
+// fuState tracks per-pool unit occupancy. Pipelined ops occupy a unit for
+// the issue cycle only; unpipelined ops (divides) hold it for their latency.
+// The same claim rule as the previous engine, restructured for reuse: the
+// backing arrays are allocated once per Engine and reset per run.
+type fuState struct {
+	busyUntil [isa.NumFUs][]int
+	issuedAt  [isa.NumFUs][]int
+}
+
+func (f *fuState) init() {
+	for u := isa.FU(0); u < isa.NumFUs; u++ {
+		n := isa.FUCount[u]
+		f.busyUntil[u] = make([]int, n)
+		f.issuedAt[u] = make([]int, n)
+	}
+}
+
+func (f *fuState) reset() {
+	for u := isa.FU(0); u < isa.NumFUs; u++ {
+		for i := range f.busyUntil[u] {
+			f.busyUntil[u][i] = 0
+			f.issuedAt[u][i] = -1
+		}
+	}
+}
+
+// tryIssue claims a unit of class c at the given cycle. Returns false if no
+// unit is free this cycle.
+func (f *fuState) tryIssue(c isa.Class, cycle int) bool {
+	u := isa.UnitFor(c)
+	units := f.busyUntil[u]
+	for i := range units {
+		if units[i] <= cycle && f.issuedAt[u][i] != cycle {
+			f.issuedAt[u][i] = cycle
+			if !isa.Pipelined[c] {
+				units[i] = cycle + isa.Latency[c]
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// minBusyOf returns the earliest cycle > now at which some unit of pool u
+// frees up. Callers only ask when every unit of the pool is busy past now.
+func (f *fuState) minBusyOf(u isa.FU, now int) int {
+	min := -1
+	for _, b := range f.busyUntil[u] {
+		if b > now && (min < 0 || b < min) {
+			min = b
+		}
+	}
+	return min
+}
+
+// nextExpiry returns the earliest cycle > now at which any unit of any pool
+// frees up, or -1 if every unit is already free.
+func (f *fuState) nextExpiry(now int) int {
+	min := -1
+	for u := isa.FU(0); u < isa.NumFUs; u++ {
+		for _, b := range f.busyUntil[u] {
+			if b > now && (min < 0 || b < min) {
+				min = b
+			}
+		}
+	}
+	return min
+}

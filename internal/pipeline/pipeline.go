@@ -11,9 +11,17 @@
 // (Section 4.2: the InO has the same width and FUs as the OoO so schedules
 // transfer directly), the same register dependences, and per-dynamic-load
 // latencies supplied by the memory hierarchy.
+//
+// The implementation (engine.go, events.go) is event-driven: wakeup lists
+// propagate readiness, a calendar queue holds future wakeups, and the main
+// loops jump over cycles in which nothing can happen. Results are
+// bit-identical to the original cycle-by-cycle engine, whose frozen copy
+// serves as the test oracle (reference_test.go).
 package pipeline
 
 import (
+	"sort"
+
 	"repro/internal/isa"
 	"repro/internal/trace"
 )
@@ -118,408 +126,11 @@ func (r *Result) SteadyCyclesPerIter() float64 {
 	return float64(span) / float64(iters)
 }
 
-// dynamic instruction state.
-type dyn struct {
-	static   int // index within the trace
-	iter     int
-	lat      int
-	issued   int // cycle issued, -1 before
-	complete int
-	numPreds int   // unresolved predecessor count is tracked via readyAt
-	readyAt  int   // max completion over predecessors (computed on the fly)
-	preds    []int // indexes into the dyn slice
-}
-
-// fuState tracks per-pool unit occupancy. Pipelined ops occupy a unit for
-// the issue cycle only; unpipelined ops (divides) hold it for their latency.
-type fuState struct {
-	busyUntil [isa.NumFUs][]int
-	issuedAt  [isa.NumFUs][]int
-}
-
-func newFUState() *fuState {
-	f := &fuState{}
-	for u := isa.FU(0); u < isa.NumFUs; u++ {
-		n := isa.FUCount[u]
-		f.busyUntil[u] = make([]int, n)
-		f.issuedAt[u] = make([]int, n)
-		for i := 0; i < n; i++ {
-			f.issuedAt[u][i] = -1
-		}
-	}
-	return f
-}
-
-// tryIssue claims a unit of class c at the given cycle. Returns false if no
-// unit is free this cycle.
-func (f *fuState) tryIssue(c isa.Class, cycle int) bool {
-	u := isa.UnitFor(c)
-	units := f.busyUntil[u]
-	for i := range units {
-		if units[i] <= cycle && f.issuedAt[u][i] != cycle {
-			f.issuedAt[u][i] = cycle
-			if !isa.Pipelined[c] {
-				units[i] = cycle + isa.Latency[c]
-			}
-			return true
-		}
-	}
-	return false
-}
-
-// Run simulates the request and returns the result. It panics on malformed
-// requests (simulator-internal misuse, not user input).
-func Run(req Request) Result {
-	t := req.Trace
-	if t == nil || len(t.Insts) == 0 || req.Iterations <= 0 {
-		return Result{}
-	}
-	n := len(t.Insts)
-	if req.Width <= 0 {
-		req.Width = isa.IssueWidth
-	}
-	if req.Policy == Dataflow && req.Window <= 0 {
-		req.Window = isa.ROBSize
-	}
-	if req.ProbeSpan <= 0 {
-		req.ProbeSpan = 1
-	}
-	if req.ProbeSpan > req.Iterations {
-		req.ProbeSpan = req.Iterations
-	}
-	if req.Policy == RecordedOrder {
-		if len(req.Order) != n*req.ProbeSpan {
-			panic("pipeline: RecordedOrder requires a full probe-span order")
-		}
-		if req.Iterations%req.ProbeSpan != 0 {
-			req.Iterations += req.ProbeSpan - req.Iterations%req.ProbeSpan
-		}
-	}
-
-	total := n * req.Iterations
-	dyns := make([]dyn, total)
-	loadSeq := 0
-	for it := 0; it < req.Iterations; it++ {
-		for j := 0; j < n; j++ {
-			d := &dyns[it*n+j]
-			d.static = j
-			d.iter = it
-			d.issued = -1
-			in := t.Insts[j]
-			d.lat = isa.Latency[in.Op]
-			if in.Op == isa.Load && req.LoadLatency != nil {
-				d.lat = req.LoadLatency(loadSeq)
-				loadSeq++
-			}
-			for _, p := range req.Deps.Preds[j] {
-				d.preds = append(d.preds, it*n+p)
-			}
-			if it > 0 {
-				for _, p := range req.Deps.CarriedPreds[j] {
-					d.preds = append(d.preds, (it-1)*n+p)
-				}
-			}
-		}
-	}
-
-	res := Result{IterEnd: make([]int, req.Iterations)}
-	switch req.Policy {
-	case Dataflow:
-		runDataflow(req, dyns, &res)
-	default:
-		runInOrder(req, dyns, &res)
-	}
-	span := req.ProbeSpan
-	probe := (req.Iterations / 2 / span) * span
-	if probe+span > req.Iterations {
-		probe = req.Iterations - span
-	}
-	extractProbe(dyns[probe*n:(probe+span)*n], &res)
-	return res
-}
-
-// readyTime returns the earliest cycle d can issue given its predecessors.
-func readyTime(dyns []dyn, d *dyn) int {
-	ready := 0
-	for _, p := range d.preds {
-		pd := &dyns[p]
-		if pd.issued < 0 {
-			return -1 // predecessor not even issued yet
-		}
-		if pd.complete > ready {
-			ready = pd.complete
-		}
-	}
-	return ready
-}
-
-func runDataflow(req Request, dyns []dyn, res *Result) {
-	t := req.Trace
-	n := len(t.Insts)
-	total := len(dyns)
-	fus := newFUState()
-
-	dispatched := 0 // next undipatched index
-	retired := 0
-	issuedCount := 0
-	// iterGate[i] is the earliest cycle iteration i may begin dispatching
-	// (branch mispredict redirect or fetch stall).
-	iterGate := make([]int, req.Iterations)
-	if req.FetchGate != nil {
-		iterGate[0] = req.FetchGate(0)
-	}
-	cycle := 0
-	// inflight holds dispatched, unissued instruction indexes in age order.
-	inflight := make([]int, 0, req.Window+req.Width)
-
-	for retired < total {
-		// Retire in order (commit width = issue width).
-		for c := 0; c < req.Width && retired < total; c++ {
-			d := &dyns[retired]
-			if d.issued >= 0 && d.complete <= cycle {
-				retired++
-			} else {
-				break
-			}
-		}
-
-		// Dispatch into the window.
-		for c := 0; c < req.Width && dispatched < total; c++ {
-			d := &dyns[dispatched]
-			if dispatched-retired >= req.Window {
-				break
-			}
-			if cycle < iterGate[d.iter] {
-				break
-			}
-			inflight = append(inflight, dispatched)
-			dispatched++
-		}
-
-		// Issue oldest-ready-first.
-		issuedThis := 0
-		fuBlocked := false
-		for i := 0; i < len(inflight) && issuedThis < req.Width; i++ {
-			idx := inflight[i]
-			d := &dyns[idx]
-			rt := readyTime(dyns, d)
-			if rt < 0 || rt > cycle {
-				continue
-			}
-			in := t.Insts[d.static]
-			if !fus.tryIssue(in.Op, cycle) {
-				fuBlocked = true
-				continue
-			}
-			d.issued = cycle
-			d.complete = cycle + d.lat
-			res.FUBusy[isa.UnitFor(in.Op)]++
-			issuedThis++
-			issuedCount++
-			inflight = append(inflight[:i], inflight[i+1:]...)
-			i--
-			// Terminating branch: resolve redirect for the next iteration.
-			if d.static == n-1 && d.iter+1 < req.Iterations {
-				gate := 0
-				if req.Mispredicts != nil && req.Mispredicts(d.iter) {
-					gate = d.complete + req.MispredictPenalty
-				}
-				if req.FetchGate != nil {
-					if fg := req.FetchGate(d.iter + 1); cycle+fg > gate {
-						gate = cycle + fg
-					}
-				}
-				if gate > iterGate[d.iter+1] {
-					iterGate[d.iter+1] = gate
-				}
-			}
-			if d.static == n-1 {
-				res.IterEnd[d.iter] = d.complete
-			}
-		}
-		if issuedThis == 0 && len(inflight) > 0 {
-			res.LoadStallCycles++
-			if fuBlocked {
-				res.StallFUCycles++
-			} else {
-				res.StallDataCycles++
-			}
-		}
-		if issuedThis == 0 && len(inflight) == 0 && dispatched < total &&
-			cycle < iterGate[dyns[dispatched].iter] {
-			// The window is empty and the front end is gated: a pure fetch
-			// stall (mispredict redirect or I-fetch miss).
-			res.StallFetchCycles++
-		}
-		cycle++
-		if cycle > 1<<26 {
-			panic("pipeline: dataflow simulation did not converge")
-		}
-	}
-	res.Issued = issuedCount
-	res.Cycles = 0
-	for i := range dyns {
-		if dyns[i].complete > res.Cycles {
-			res.Cycles = dyns[i].complete
-		}
-	}
-	finalizeIterEnds(dyns, len(t.Insts), res)
-}
-
-func runInOrder(req Request, dyns []dyn, res *Result) {
-	t := req.Trace
-	n := len(t.Insts)
-	fus := newFUState()
-	issuedCount := 0
-	cycle := 0
-	gate := 0
-	if req.FetchGate != nil {
-		gate = req.FetchGate(0)
-	}
-
-	// order of dynamic issue: program order or recorded order per iteration.
-	seq := make([]int, 0, len(dyns))
-	if req.Policy == RecordedOrder {
-		span := req.ProbeSpan
-		for g := 0; g < req.Iterations/span; g++ {
-			base := g * span * n
-			for _, pos := range req.Order {
-				seq = append(seq, base+int(pos))
-			}
-		}
-	} else {
-		for i := range dyns {
-			seq = append(seq, i)
-		}
-	}
-
-	next := 0
-	for next < len(seq) {
-		if cycle < gate {
-			res.StallFetchCycles += gate - cycle
-			cycle = gate
-		}
-		issuedThis := 0
-		fuBlocked := false
-		for issuedThis < req.Width && next < len(seq) {
-			d := &dyns[seq[next]]
-			rt := readyTime(dyns, d)
-			if rt < 0 {
-				panic("pipeline: in-order issue saw unissued predecessor")
-			}
-			if rt > cycle {
-				break // stall-on-use: strictly stop at first stalled inst
-			}
-			in := t.Insts[d.static]
-			if !fus.tryIssue(in.Op, cycle) {
-				fuBlocked = true
-				break
-			}
-			d.issued = cycle
-			d.complete = cycle + d.lat
-			res.FUBusy[isa.UnitFor(in.Op)]++
-			issuedThis++
-			issuedCount++
-
-			if d.static == n-1 {
-				res.IterEnd[d.iter] = d.complete
-				if d.iter+1 < req.Iterations {
-					g := 0
-					if req.Mispredicts != nil && req.Mispredicts(d.iter) {
-						g = d.complete + req.MispredictPenalty
-					}
-					if req.FetchGate != nil {
-						if fg := req.FetchGate(d.iter + 1); cycle+fg > g {
-							g = cycle + fg
-						}
-					}
-					if g > gate {
-						gate = g
-					}
-				}
-			}
-			next++
-		}
-		if issuedThis == 0 {
-			res.LoadStallCycles++
-			if fuBlocked {
-				res.StallFUCycles++
-			}
-			// Jump to the earliest cycle something can proceed.
-			d := &dyns[seq[next]]
-			rt := readyTime(dyns, d)
-			if rt > cycle {
-				res.StallDataCycles += rt - cycle
-				cycle = rt
-				continue
-			}
-			if !fuBlocked {
-				res.StallDataCycles++
-			}
-			cycle++
-			if cycle > 1<<26 {
-				panic("pipeline: in-order simulation did not converge")
-			}
-			continue
-		}
-		cycle++
-	}
-	res.Issued = issuedCount
-	res.Cycles = 0
-	for i := range dyns {
-		if dyns[i].complete > res.Cycles {
-			res.Cycles = dyns[i].complete
-		}
-	}
-	finalizeIterEnds(dyns, n, res)
-}
-
-// finalizeIterEnds makes IterEnd reflect the completion of every
-// instruction in the iteration, not just the terminating branch.
-func finalizeIterEnds(dyns []dyn, n int, res *Result) {
-	iters := len(dyns) / n
-	for it := 0; it < iters; it++ {
-		end := 0
-		for j := 0; j < n; j++ {
-			if c := dyns[it*n+j].complete; c > end {
-				end = c
-			}
-		}
-		res.IterEnd[it] = end
-	}
-}
-
-// extractProbe derives the issue order and reorder count of one probe block
-// (ProbeSpan iterations). Block positions are it*n+j for instruction j of
-// the block's it-th iteration.
-func extractProbe(blockDyns []dyn, res *Result) {
-	n := len(blockDyns)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	// Insertion sort by (issue cycle, block position) — stable, tiny n.
-	for i := 1; i < n; i++ {
-		for k := i; k > 0; k-- {
-			a, b := &blockDyns[order[k-1]], &blockDyns[order[k]]
-			if a.issued > b.issued || (a.issued == b.issued && order[k-1] > order[k]) {
-				order[k-1], order[k] = order[k], order[k-1]
-			} else {
-				break
-			}
-		}
-	}
-	res.IssueOrder = make([]uint16, n)
-	maxSeen := -1
-	for k, idx := range order {
-		res.IssueOrder[k] = uint16(idx)
-		if idx < maxSeen {
-			res.Reordered++
-		}
-		if idx > maxSeen {
-			maxSeen = idx
-		}
-	}
+// regLife is one renamed-register lifetime in schedule positions.
+type regLife struct {
+	reg   isa.Reg
+	start int
+	end   int
 }
 
 // MaxLiveVersions computes, for a schedule order over a block of one or
@@ -527,65 +138,95 @@ func extractProbe(blockDyns []dyn, res *Result) {
 // renamed versions any architectural register needs during replay. OinO
 // hardware caps this at isa.OinOMaxVersions. Block position p corresponds
 // to instruction p % len(t.Insts) of iteration p / len(t.Insts).
+//
+// A version is live from its write position until the last read of that
+// version (or end of block for values carried out). The maximum overlap per
+// register is found with a sorted two-pointer sweep over lifetime endpoints
+// — O(n log n) against the previous all-pairs stabbing count.
 func MaxLiveVersions(t *trace.Trace, order []uint16) int {
 	n := len(order) // block length (span * trace length)
-	inst := func(p int) isa.Inst { return t.Insts[p%len(t.Insts)] }
+	tn := len(t.Insts)
 	pos := make([]int, n) // schedule position of each block position
 	for k, s := range order {
 		pos[s] = k
 	}
-	// For each register, collect writer lifetimes in schedule positions:
-	// a version is live from its write position until the last read of that
-	// version (or end of trace for values carried out).
-	type life struct{ start, end int }
-	lives := make(map[isa.Reg][]life)
-	lastWrite := make(map[isa.Reg]int) // block position of last writer in program order
-	writeEnd := make(map[int]int)      // block writer position -> last reader schedule pos
-
+	var lastWrite [isa.NumRegs]int // block position of last writer in program order
+	for r := range lastWrite {
+		lastWrite[r] = -1
+	}
+	// writeEnd[w] is the latest reader schedule position recorded for writer
+	// w; seen[w] marks whether any reader recorded one. A reader at schedule
+	// position 0 never records (0 > 0 is false) — the original map-based
+	// sweep behaved the same way via the map's zero value, and replay
+	// version counts are part of the simulator's frozen behaviour.
+	writeEnd := make([]int, n)
+	seen := make([]bool, n)
 	for j := 0; j < n; j++ {
-		in := inst(j)
+		in := t.Insts[j%tn]
 		for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
 			if !src.Valid() {
 				continue
 			}
-			if w, ok := lastWrite[src]; ok {
-				if pos[j] > writeEnd[w] {
-					writeEnd[w] = pos[j]
-				}
+			if w := lastWrite[src]; w >= 0 && pos[j] > writeEnd[w] {
+				writeEnd[w] = pos[j]
+				seen[w] = true
 			}
 		}
 		if in.HasDst() {
 			lastWrite[in.Dst] = j
 		}
 	}
+	lives := make([]regLife, 0, n)
 	for j := 0; j < n; j++ {
-		in := inst(j)
+		in := t.Insts[j%tn]
 		if !in.HasDst() {
 			continue
 		}
-		end, ok := writeEnd[j]
-		if !ok {
-			end = pos[j]
+		end := pos[j]
+		if seen[j] {
+			end = writeEnd[j]
 		}
 		if lastWrite[in.Dst] == j {
 			end = n // carried out of the block: live until replay end
 		}
-		lives[in.Dst] = append(lives[in.Dst], life{start: pos[j], end: end})
+		if end < pos[j] {
+			// Degenerate lifetime (all reads scheduled before the write):
+			// it covers no point, and the maximum overlap is always attained
+			// at a non-degenerate lifetime's start, so it cannot contribute.
+			continue
+		}
+		lives = append(lives, regLife{reg: in.Dst, start: pos[j], end: end})
 	}
+	sort.Slice(lives, func(a, b int) bool {
+		if lives[a].reg != lives[b].reg {
+			return lives[a].reg < lives[b].reg
+		}
+		return lives[a].start < lives[b].start
+	})
 	maxV := 1
-	for _, ls := range lives {
-		// Sweep: count overlapping lifetimes.
-		for _, a := range ls {
-			overlap := 0
-			for _, b := range ls {
-				if b.start <= a.start && a.start <= b.end {
-					overlap++
-				}
+	ends := make([]int, 0, len(lives))
+	for lo := 0; lo < len(lives); {
+		hi := lo
+		for hi < len(lives) && lives[hi].reg == lives[lo].reg {
+			hi++
+		}
+		// Count the maximum number of lifetimes of this register covering
+		// any one lifetime's start: starts are sorted; sweep ends alongside.
+		ends = ends[:0]
+		for i := lo; i < hi; i++ {
+			ends = append(ends, lives[i].end)
+		}
+		sort.Ints(ends)
+		k := 0
+		for i := lo; i < hi; i++ {
+			for ends[k] < lives[i].start {
+				k++
 			}
-			if overlap > maxV {
-				maxV = overlap
+			if v := (i - lo) - k + 1; v > maxV {
+				maxV = v
 			}
 		}
+		lo = hi
 	}
 	return maxV
 }

@@ -1,0 +1,393 @@
+package pipeline
+
+// This file is a frozen copy of the pre-event-driven pipeline engine (the
+// per-cycle rescan implementation this package shipped before the rewrite).
+// It exists only as a test oracle: the equivalence property test runs a few
+// hundred random requests through both engines and requires field-for-field
+// identical Results, and the golden fixtures in testdata/ were generated
+// from exactly this code. Do not "fix" or optimise it — its behaviour,
+// including every stall-accounting quirk, is the specification.
+
+import (
+	"repro/internal/isa"
+)
+
+// refDyn mirrors the old per-dynamic-instruction state, including the
+// per-dyn materialised predecessor index slices the new engine eliminates.
+type refDyn struct {
+	static   int
+	iter     int
+	lat      int
+	issued   int
+	complete int
+	preds    []int
+}
+
+type refFUState struct {
+	busyUntil [isa.NumFUs][]int
+	issuedAt  [isa.NumFUs][]int
+}
+
+func newRefFUState() *refFUState {
+	f := &refFUState{}
+	for u := isa.FU(0); u < isa.NumFUs; u++ {
+		n := isa.FUCount[u]
+		f.busyUntil[u] = make([]int, n)
+		f.issuedAt[u] = make([]int, n)
+		for i := 0; i < n; i++ {
+			f.issuedAt[u][i] = -1
+		}
+	}
+	return f
+}
+
+func (f *refFUState) tryIssue(c isa.Class, cycle int) bool {
+	u := isa.UnitFor(c)
+	units := f.busyUntil[u]
+	for i := range units {
+		if units[i] <= cycle && f.issuedAt[u][i] != cycle {
+			f.issuedAt[u][i] = cycle
+			if !isa.Pipelined[c] {
+				units[i] = cycle + isa.Latency[c]
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// referenceRun is the old pipeline.Run, verbatim apart from renames.
+func referenceRun(req Request) Result {
+	t := req.Trace
+	if t == nil || len(t.Insts) == 0 || req.Iterations <= 0 {
+		return Result{}
+	}
+	n := len(t.Insts)
+	if req.Width <= 0 {
+		req.Width = isa.IssueWidth
+	}
+	if req.Policy == Dataflow && req.Window <= 0 {
+		req.Window = isa.ROBSize
+	}
+	if req.ProbeSpan <= 0 {
+		req.ProbeSpan = 1
+	}
+	if req.ProbeSpan > req.Iterations {
+		req.ProbeSpan = req.Iterations
+	}
+	if req.Policy == RecordedOrder {
+		if len(req.Order) != n*req.ProbeSpan {
+			panic("pipeline: RecordedOrder requires a full probe-span order")
+		}
+		if req.Iterations%req.ProbeSpan != 0 {
+			req.Iterations += req.ProbeSpan - req.Iterations%req.ProbeSpan
+		}
+	}
+
+	total := n * req.Iterations
+	dyns := make([]refDyn, total)
+	loadSeq := 0
+	for it := 0; it < req.Iterations; it++ {
+		for j := 0; j < n; j++ {
+			d := &dyns[it*n+j]
+			d.static = j
+			d.iter = it
+			d.issued = -1
+			in := t.Insts[j]
+			d.lat = isa.Latency[in.Op]
+			if in.Op == isa.Load && req.LoadLatency != nil {
+				d.lat = req.LoadLatency(loadSeq)
+				loadSeq++
+			}
+			for _, p := range req.Deps.Preds[j] {
+				d.preds = append(d.preds, it*n+p)
+			}
+			if it > 0 {
+				for _, p := range req.Deps.CarriedPreds[j] {
+					d.preds = append(d.preds, (it-1)*n+p)
+				}
+			}
+		}
+	}
+
+	res := Result{IterEnd: make([]int, req.Iterations)}
+	switch req.Policy {
+	case Dataflow:
+		refRunDataflow(req, dyns, &res)
+	default:
+		refRunInOrder(req, dyns, &res)
+	}
+	span := req.ProbeSpan
+	probe := (req.Iterations / 2 / span) * span
+	if probe+span > req.Iterations {
+		probe = req.Iterations - span
+	}
+	refExtractProbe(dyns[probe*n:(probe+span)*n], &res)
+	return res
+}
+
+func refReadyTime(dyns []refDyn, d *refDyn) int {
+	ready := 0
+	for _, p := range d.preds {
+		pd := &dyns[p]
+		if pd.issued < 0 {
+			return -1
+		}
+		if pd.complete > ready {
+			ready = pd.complete
+		}
+	}
+	return ready
+}
+
+func refRunDataflow(req Request, dyns []refDyn, res *Result) {
+	t := req.Trace
+	n := len(t.Insts)
+	total := len(dyns)
+	fus := newRefFUState()
+
+	dispatched := 0
+	retired := 0
+	issuedCount := 0
+	iterGate := make([]int, req.Iterations)
+	if req.FetchGate != nil {
+		iterGate[0] = req.FetchGate(0)
+	}
+	cycle := 0
+	inflight := make([]int, 0, req.Window+req.Width)
+
+	for retired < total {
+		for c := 0; c < req.Width && retired < total; c++ {
+			d := &dyns[retired]
+			if d.issued >= 0 && d.complete <= cycle {
+				retired++
+			} else {
+				break
+			}
+		}
+
+		for c := 0; c < req.Width && dispatched < total; c++ {
+			d := &dyns[dispatched]
+			if dispatched-retired >= req.Window {
+				break
+			}
+			if cycle < iterGate[d.iter] {
+				break
+			}
+			inflight = append(inflight, dispatched)
+			dispatched++
+		}
+
+		issuedThis := 0
+		fuBlocked := false
+		for i := 0; i < len(inflight) && issuedThis < req.Width; i++ {
+			idx := inflight[i]
+			d := &dyns[idx]
+			rt := refReadyTime(dyns, d)
+			if rt < 0 || rt > cycle {
+				continue
+			}
+			in := t.Insts[d.static]
+			if !fus.tryIssue(in.Op, cycle) {
+				fuBlocked = true
+				continue
+			}
+			d.issued = cycle
+			d.complete = cycle + d.lat
+			res.FUBusy[isa.UnitFor(in.Op)]++
+			issuedThis++
+			issuedCount++
+			inflight = append(inflight[:i], inflight[i+1:]...)
+			i--
+			if d.static == n-1 && d.iter+1 < req.Iterations {
+				gate := 0
+				if req.Mispredicts != nil && req.Mispredicts(d.iter) {
+					gate = d.complete + req.MispredictPenalty
+				}
+				if req.FetchGate != nil {
+					if fg := req.FetchGate(d.iter + 1); cycle+fg > gate {
+						gate = cycle + fg
+					}
+				}
+				if gate > iterGate[d.iter+1] {
+					iterGate[d.iter+1] = gate
+				}
+			}
+			if d.static == n-1 {
+				res.IterEnd[d.iter] = d.complete
+			}
+		}
+		if issuedThis == 0 && len(inflight) > 0 {
+			res.LoadStallCycles++
+			if fuBlocked {
+				res.StallFUCycles++
+			} else {
+				res.StallDataCycles++
+			}
+		}
+		if issuedThis == 0 && len(inflight) == 0 && dispatched < total &&
+			cycle < iterGate[dyns[dispatched].iter] {
+			res.StallFetchCycles++
+		}
+		cycle++
+		if cycle > 1<<26 {
+			panic("pipeline: dataflow simulation did not converge")
+		}
+	}
+	res.Issued = issuedCount
+	res.Cycles = 0
+	for i := range dyns {
+		if dyns[i].complete > res.Cycles {
+			res.Cycles = dyns[i].complete
+		}
+	}
+	refFinalizeIterEnds(dyns, len(t.Insts), res)
+}
+
+func refRunInOrder(req Request, dyns []refDyn, res *Result) {
+	t := req.Trace
+	n := len(t.Insts)
+	fus := newRefFUState()
+	issuedCount := 0
+	cycle := 0
+	gate := 0
+	if req.FetchGate != nil {
+		gate = req.FetchGate(0)
+	}
+
+	seq := make([]int, 0, len(dyns))
+	if req.Policy == RecordedOrder {
+		span := req.ProbeSpan
+		for g := 0; g < req.Iterations/span; g++ {
+			base := g * span * n
+			for _, pos := range req.Order {
+				seq = append(seq, base+int(pos))
+			}
+		}
+	} else {
+		for i := range dyns {
+			seq = append(seq, i)
+		}
+	}
+
+	next := 0
+	for next < len(seq) {
+		if cycle < gate {
+			res.StallFetchCycles += gate - cycle
+			cycle = gate
+		}
+		issuedThis := 0
+		fuBlocked := false
+		for issuedThis < req.Width && next < len(seq) {
+			d := &dyns[seq[next]]
+			rt := refReadyTime(dyns, d)
+			if rt < 0 {
+				panic("pipeline: in-order issue saw unissued predecessor")
+			}
+			if rt > cycle {
+				break
+			}
+			in := t.Insts[d.static]
+			if !fus.tryIssue(in.Op, cycle) {
+				fuBlocked = true
+				break
+			}
+			d.issued = cycle
+			d.complete = cycle + d.lat
+			res.FUBusy[isa.UnitFor(in.Op)]++
+			issuedThis++
+			issuedCount++
+
+			if d.static == n-1 {
+				res.IterEnd[d.iter] = d.complete
+				if d.iter+1 < req.Iterations {
+					g := 0
+					if req.Mispredicts != nil && req.Mispredicts(d.iter) {
+						g = d.complete + req.MispredictPenalty
+					}
+					if req.FetchGate != nil {
+						if fg := req.FetchGate(d.iter + 1); cycle+fg > g {
+							g = cycle + fg
+						}
+					}
+					if g > gate {
+						gate = g
+					}
+				}
+			}
+			next++
+		}
+		if issuedThis == 0 {
+			res.LoadStallCycles++
+			if fuBlocked {
+				res.StallFUCycles++
+			}
+			d := &dyns[seq[next]]
+			rt := refReadyTime(dyns, d)
+			if rt > cycle {
+				res.StallDataCycles += rt - cycle
+				cycle = rt
+				continue
+			}
+			if !fuBlocked {
+				res.StallDataCycles++
+			}
+			cycle++
+			if cycle > 1<<26 {
+				panic("pipeline: in-order simulation did not converge")
+			}
+			continue
+		}
+		cycle++
+	}
+	res.Issued = issuedCount
+	res.Cycles = 0
+	for i := range dyns {
+		if dyns[i].complete > res.Cycles {
+			res.Cycles = dyns[i].complete
+		}
+	}
+	refFinalizeIterEnds(dyns, n, res)
+}
+
+func refFinalizeIterEnds(dyns []refDyn, n int, res *Result) {
+	iters := len(dyns) / n
+	for it := 0; it < iters; it++ {
+		end := 0
+		for j := 0; j < n; j++ {
+			if c := dyns[it*n+j].complete; c > end {
+				end = c
+			}
+		}
+		res.IterEnd[it] = end
+	}
+}
+
+func refExtractProbe(blockDyns []refDyn, res *Result) {
+	n := len(blockDyns)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for k := i; k > 0; k-- {
+			a, b := &blockDyns[order[k-1]], &blockDyns[order[k]]
+			if a.issued > b.issued || (a.issued == b.issued && order[k-1] > order[k]) {
+				order[k-1], order[k] = order[k], order[k-1]
+			} else {
+				break
+			}
+		}
+	}
+	res.IssueOrder = make([]uint16, n)
+	maxSeen := -1
+	for k, idx := range order {
+		res.IssueOrder[k] = uint16(idx)
+		if idx < maxSeen {
+			res.Reordered++
+		}
+		if idx > maxSeen {
+			maxSeen = idx
+		}
+	}
+}

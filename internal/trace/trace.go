@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/isa"
 )
@@ -119,6 +120,24 @@ type DepGraph struct {
 	// LastWriter[r] is the index of the last instruction writing register r,
 	// or -1. Used to wire loop-carried edges between unrolled iterations.
 	LastWriter [isa.NumRegs]int
+
+	// derived caches a consumer-specific flattened form of the graph (the
+	// pipeline engine's CSR adjacency), built on first use via Derived.
+	derived atomic.Value
+}
+
+// Derived returns the memoized derived form of the graph, building it with
+// build on first use. The graph is treated as immutable after BuildDepGraph;
+// concurrent callers may race to build, in which case one deterministic
+// value wins and duplicates are discarded — callers must therefore derive
+// values purely from the graph itself.
+func (g *DepGraph) Derived(build func() any) any {
+	if v := g.derived.Load(); v != nil {
+		return v
+	}
+	v := build()
+	g.derived.Store(v)
+	return v
 }
 
 // BuildDepGraph computes RAW register dependences within a trace and the
