@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -212,7 +213,7 @@ func BenchmarkPipelineSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := sweep
 		s.Name = fmt.Sprintf("pipesweep-i%d", i)
-		if _, err := experiments.Figure7(s); err != nil {
+		if _, err := experiments.Figure7(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -40,7 +41,7 @@ func report(b *testing.B, run func() (*experiments.Report, error)) *experiments.
 }
 
 func BenchmarkTable1(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Table1(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Table1(context.Background(), benchScale) })
 }
 
 func BenchmarkTable2(b *testing.B) {
@@ -48,19 +49,19 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkFigure1(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure1(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure1(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure2(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure2(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure2(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure3b(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure3b(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure3b(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure5(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure5(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure5(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure6(b *testing.B) {
@@ -68,11 +69,11 @@ func BenchmarkFigure6(b *testing.B) {
 }
 
 func BenchmarkFigure7(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure7(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure7(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure8(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure8(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure8(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure9a(b *testing.B) {
@@ -80,35 +81,35 @@ func BenchmarkFigure9a(b *testing.B) {
 }
 
 func BenchmarkFigure9b(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure9b(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure9b(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure10(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure10(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure10(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure11(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure11(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure11(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure12(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure12(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure12(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure13(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure13(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure13(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure14(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure14(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure14(context.Background(), benchScale) })
 }
 
 func BenchmarkFigure15(b *testing.B) {
-	report(b, func() (*experiments.Report, error) { return experiments.Figure15(benchScale) })
+	report(b, func() (*experiments.Report, error) { return experiments.Figure15(context.Background(), benchScale) })
 }
 
 func BenchmarkHeadline(b *testing.B) {
-	rep := report(b, func() (*experiments.Report, error) { return experiments.Headline(benchScale) })
+	rep := report(b, func() (*experiments.Report, error) { return experiments.Headline(context.Background(), benchScale) })
 	_ = rep
 }
 
@@ -132,7 +133,7 @@ func benchOneMix(b *testing.B, mutate func(*core.Config)) {
 		if mutate != nil {
 			mutate(&cfg)
 		}
-		mr, err := core.RunMixWithBaseline(cfg)
+		mr, err := core.RunMixWithBaseline(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func BenchmarkClusterTelemetry(b *testing.B) {
 				Seed:           "telemetry-bench",
 				Telemetry:      tel(),
 			}
-			if _, err := core.RunMix(cfg); err != nil {
+			if _, err := core.RunMix(context.Background(), cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -230,7 +231,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 			// cache key, so every iteration simulates instead of replaying
 			// the memoized result (seeds ignore the name: results match).
 			s.Name = fmt.Sprintf("sweepbench-p%d-i%d", parallel, i)
-			if _, err := experiments.Figure7(s); err != nil {
+			if _, err := experiments.Figure7(context.Background(), s); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -342,7 +343,7 @@ func BenchmarkAblationBroadcast(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var stp float64
 			for i := 0; i < b.N; i++ {
-				mr, err := core.RunMixWithBaseline(core.Config{
+				mr, err := core.RunMixWithBaseline(context.Background(), core.Config{
 					Topology:       core.TopologyMirage,
 					Policy:         core.PolicySCMPKI,
 					Benchmarks:     threads,

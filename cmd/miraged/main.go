@@ -1,0 +1,116 @@
+// Command miraged serves the simulator as an HTTP/JSON API.
+//
+// Usage:
+//
+//	miraged [-addr :8080] [-max-inflight 2] [-queue 8] [-parallel 0]
+//	        [-timeout 60s] [-max-timeout 10m] [-drain-timeout 30s]
+//	        [-metrics-out m.json] [-pprof cpu.prof]
+//
+// Endpoints (see DESIGN.md §10 and the README "Serving" section):
+//
+//	POST /v1/run          one cluster simulation
+//	POST /v1/sweep        the Figure 7/8/9b arbitrator sweep
+//	GET  /v1/figures/{id} any registry experiment by ID or slug
+//	GET  /v1/healthz      liveness and drain state
+//	GET  /v1/metrics      telemetry counters as JSON
+//
+// Identical concurrent requests share one simulation (singleflight) and
+// repeated ones are served from the response cache byte-identically. On
+// SIGINT/SIGTERM the server stops accepting simulation work (503), drains
+// in-flight requests up to -drain-timeout, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/pprof"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInFlight := flag.Int("max-inflight", 2, "max simulations executing concurrently")
+	queue := flag.Int("queue", 8, "max simulations queued beyond -max-inflight before 429")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline when the request names none")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "ceiling on per-request timeout_ms")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	parallel := flag.Int("parallel", 0, "per-simulation worker budget (0 = GOMAXPROCS); responses are bit-identical at any setting")
+	metricsOut := flag.String("metrics-out", "", "write telemetry counters as JSON to this file on exit")
+	pprofOut := flag.String("pprof", "", "write a CPU profile of the serve loop to this file")
+	flag.Parse()
+
+	if *maxInFlight < 1 || *queue < 0 || *parallel < 0 {
+		fatalf("-max-inflight must be >= 1, -queue and -parallel >= 0")
+	}
+
+	tel := telemetry.New()
+	srv := server.New(server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Parallel:       *parallel,
+		Telemetry:      tel,
+	})
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "miraged: serving on %s (inflight=%d queue=%d parallel=%d)\n",
+		*addr, *maxInFlight, *queue, *parallel)
+
+	select {
+	case err := <-errc:
+		fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "miraged: draining (up to %s)\n", *drainTimeout)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the simulation layer first so queued flights observe the 503
+	// path, then close listeners and idle connections.
+	drainErr := srv.Shutdown(dctx)
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "miraged: http shutdown: %v\n", err)
+	}
+	if *metricsOut != "" {
+		if err := tel.WriteMetricsFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "miraged: metrics: %v\n", err)
+		}
+	}
+	if drainErr != nil {
+		fatalf("drain: %v", drainErr)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "miraged: "+format+"\n", args...)
+	os.Exit(1)
+}

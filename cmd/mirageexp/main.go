@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -74,48 +75,23 @@ func main() {
 		}
 	}
 
-	type exp struct {
-		id  string
-		run func() (*experiments.Report, error)
-	}
-	all := []exp{
-		{"Table 1", func() (*experiments.Report, error) { return experiments.Table1(scale) }},
-		{"Table 2", func() (*experiments.Report, error) { return experiments.Table2(), nil }},
-		{"Figure 1", func() (*experiments.Report, error) { return experiments.Figure1(scale) }},
-		{"Figure 2", func() (*experiments.Report, error) { return experiments.Figure2(scale) }},
-		{"Figure 3b", func() (*experiments.Report, error) { return experiments.Figure3b(scale) }},
-		{"Figure 5", func() (*experiments.Report, error) { return experiments.Figure5(scale) }},
-		{"Figure 6", func() (*experiments.Report, error) { return experiments.Figure6(scale), nil }},
-		{"Figure 7", func() (*experiments.Report, error) { return experiments.Figure7(scale) }},
-		{"Figure 8", func() (*experiments.Report, error) { return experiments.Figure8(scale) }},
-		{"Figure 9a", func() (*experiments.Report, error) { return experiments.Figure9a() }},
-		{"Figure 9b", func() (*experiments.Report, error) { return experiments.Figure9b(scale) }},
-		{"Figure 10", func() (*experiments.Report, error) { return experiments.Figure10(scale) }},
-		{"Figure 11", func() (*experiments.Report, error) { return experiments.Figure11(scale) }},
-		{"Figure 12", func() (*experiments.Report, error) { return experiments.Figure12(scale) }},
-		{"Figure 13", func() (*experiments.Report, error) { return experiments.Figure13(scale) }},
-		{"Figure 14", func() (*experiments.Report, error) { return experiments.Figure14(scale) }},
-		{"Figure 15", func() (*experiments.Report, error) { return experiments.Figure15(scale) }},
-		{"SC size", func() (*experiments.Report, error) { return experiments.SCSize(scale) }},
-		{"Headline", func() (*experiments.Report, error) { return experiments.Headline(scale) }},
-	}
-
+	ctx := context.Background()
 	failed := 0
 	var reports []*experiments.Report
-	for _, e := range all {
-		if len(only) > 0 && !only[e.id] {
+	for _, e := range experiments.All() {
+		if len(only) > 0 && !only[e.ID] && !only[e.Slug] {
 			continue
 		}
 		start := time.Now()
-		rep, err := e.run()
+		rep, err := e.Run(ctx, scale)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mirageexp: %s failed: %v\n", e.id, err)
+			fmt.Fprintf(os.Stderr, "mirageexp: %s failed: %v\n", e.ID, err)
 			failed++
 			continue
 		}
 		reports = append(reports, rep)
 		fmt.Println(rep.String())
-		fmt.Printf("(%s took %.1fs)\n\n", e.id, time.Since(start).Seconds())
+		fmt.Printf("(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
 
 	if *jsonOut != "" {

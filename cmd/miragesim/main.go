@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -108,15 +109,15 @@ func main() {
 		mr  *core.MixResult
 		ref []float64
 	)
-	_, err := runner.Run(workers, []runner.Job[struct{}]{
+	_, err := runner.Run(context.Background(), workers, []runner.Job[struct{}]{
 		{Name: "mix", Run: func() (struct{}, error) {
 			var err error
-			mr, err = core.RunMix(cfg)
+			mr, err = core.RunMix(context.Background(), cfg)
 			return struct{}{}, err
 		}},
 		{Name: "ref", Run: func() (struct{}, error) {
 			var err error
-			ref, err = core.OoOReference(mix, *insts, *seed)
+			ref, err = core.OoOReference(context.Background(), mix, *insts, *seed)
 			return struct{}{}, err
 		}},
 	})

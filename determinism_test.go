@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/experiments"
@@ -27,10 +28,10 @@ func TestParallelMatchesSerial(t *testing.T) {
 		s.Parallel = parallel
 
 		var reports []*experiments.Report
-		for _, run := range []func(experiments.Scale) (*experiments.Report, error){
+		for _, run := range []func(context.Context, experiments.Scale) (*experiments.Report, error){
 			experiments.Headline, experiments.Figure7, experiments.SCSize,
 		} {
-			rep, err := run(s)
+			rep, err := run(context.Background(), s)
 			if err != nil {
 				t.Fatalf("parallel=%d: %v", parallel, err)
 			}

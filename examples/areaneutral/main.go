@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	base := core.Config{Seed: "areaneutral-example"}
 
 	// Mirage 8:1 under the SC-MPKI arbitrator.
-	cmp, err := core.Compare(mix, base, []struct {
+	cmp, err := core.Compare(context.Background(), mix, base, []struct {
 		Policy   core.Policy
 		Topology core.Topology
 	}{{core.PolicySCMPKI, core.TopologyMirage}})
@@ -35,7 +36,7 @@ func main() {
 	tCfg.Policy = core.PolicyMaxSTP
 	tCfg.Benchmarks = mix
 	tCfg.NumOoO = 3
-	trad, err := core.RunMix(tCfg)
+	trad, err := core.RunMix(context.Background(), tCfg)
 	if err != nil {
 		log.Fatal(err)
 	}

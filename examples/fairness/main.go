@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 	fmt.Println()
 
 	base := core.Config{Seed: "fairness-example"}
-	cmp, err := core.Compare(mix, base, core.FairSet)
+	cmp, err := core.Compare(context.Background(), mix, base, core.FairSet)
 	if err != nil {
 		log.Fatal(err)
 	}

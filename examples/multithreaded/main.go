@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	}
 
 	run := func(broadcast bool) *core.MixResult {
-		mr, err := core.RunMixWithBaseline(core.Config{
+		mr, err := core.RunMixWithBaseline(context.Background(), core.Config{
 			Topology:    core.TopologyMirage,
 			Policy:      core.PolicySCMPKI,
 			Benchmarks:  threads,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 
 	// RunMixWithBaseline also runs each app alone on an OoO core so the
 	// result carries STP (mean speedup vs all-OoO hardware).
-	mr, err := core.RunMixWithBaseline(cfg)
+	mr, err := core.RunMixWithBaseline(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func main() {
 		mr.AreaMM2, core.Area(core.TopologyHomoOoO, len(mix)))
 
 	// Compare energy against the homogeneous OoO baseline.
-	ref, err := core.RunMix(core.Config{
+	ref, err := core.RunMix(context.Background(), core.Config{
 		Topology:   core.TopologyHomoOoO,
 		Benchmarks: mix,
 		Seed:       "quickstart",

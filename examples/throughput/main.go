@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 	fmt.Println()
 
 	base := core.Config{Seed: "throughput-example"}
-	cmp, err := core.Compare(mix, base, core.ArbitratorSet)
+	cmp, err := core.Compare(context.Background(), mix, base, core.ArbitratorSet)
 	if err != nil {
 		log.Fatal(err)
 	}

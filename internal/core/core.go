@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -213,8 +214,18 @@ func (c Config) clusterConfig(apps []*program.Benchmark) (cluster.Config, error)
 	return cc, nil
 }
 
-// RunMix simulates one configuration.
-func RunMix(cfg Config) (*MixResult, error) {
+// RunMix simulates one configuration. The context is checked on entry only:
+// a single simulation is the unit of cancellation granularity (runs cannot
+// be interrupted mid-flight), so ctx ending before the call starts returns
+// ctx.Err() and a context that ends mid-run lets the run finish. Helpers
+// that launch several runs (Compare, RunMixWithBaseline) stop scheduling
+// further runs once ctx ends.
+func RunMix(ctx context.Context, cfg Config) (*MixResult, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	apps, err := resolveMix(cfg.Benchmarks)
 	if err != nil {
 		return nil, err
@@ -269,14 +280,14 @@ func AreaK(t Topology, n, numOoO int) float64 {
 
 // OoOReference runs each benchmark alone on a private OoO core and returns
 // per-app reference IPCs — the denominator of every speedup in Section 5.
-func OoOReference(names []string, targetInsts int64, seed string) ([]float64, error) {
+func OoOReference(ctx context.Context, names []string, targetInsts int64, seed string) ([]float64, error) {
 	cfg := Config{
 		Topology:    TopologyHomoOoO,
 		Benchmarks:  names,
 		TargetInsts: targetInsts,
 		Seed:        seed + ":ref",
 	}
-	mr, err := RunMix(cfg)
+	mr, err := RunMix(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +306,7 @@ func workers(parallel int) int {
 // RunMixWithBaseline runs cfg and fills STP against the Homo-OoO reference.
 // The two simulations are independent (distinct seeds, no shared state); with
 // cfg.Parallel > 1 they run concurrently and the result is unchanged.
-func RunMixWithBaseline(cfg Config) (*MixResult, error) {
+func RunMixWithBaseline(ctx context.Context, cfg Config) (*MixResult, error) {
 	var (
 		mr  *MixResult
 		ref []float64
@@ -303,16 +314,16 @@ func RunMixWithBaseline(cfg Config) (*MixResult, error) {
 	jobs := []runner.Job[struct{}]{
 		{Name: "mix:" + cfg.Seed, Run: func() (struct{}, error) {
 			var err error
-			mr, err = RunMix(cfg)
+			mr, err = RunMix(context.Background(), cfg)
 			return struct{}{}, err
 		}},
 		{Name: "ref:" + cfg.Seed, Run: func() (struct{}, error) {
 			var err error
-			ref, err = OoOReference(cfg.Benchmarks, cfg.TargetInsts, cfg.Seed)
+			ref, err = OoOReference(context.Background(), cfg.Benchmarks, cfg.TargetInsts, cfg.Seed)
 			return struct{}{}, err
 		}},
 	}
-	if _, err := runner.Run(workers(cfg.Parallel), jobs); err != nil {
+	if _, err := runner.Run(ctx, workers(cfg.Parallel), jobs); err != nil {
 		var je *runner.JobError
 		if errors.As(err, &je) {
 			return nil, je.Err
@@ -361,7 +372,7 @@ var FairSet = []struct {
 // seeds, so with base.Parallel > 1 they fan out to a worker pool; STPs are
 // derived afterwards in the fixed serial order against the collated
 // reference IPCs, keeping the Comparison bit-identical at any parallelism.
-func Compare(mix []string, base Config, set []struct {
+func Compare(ctx context.Context, mix []string, base Config, set []struct {
 	Policy   Policy
 	Topology Topology
 }) (*Comparison, error) {
@@ -382,11 +393,11 @@ func Compare(mix []string, base Config, set []struct {
 		cfg.Policy = pt.Policy
 		cfgs = append(cfgs, cfg)
 	}
-	results, err := runner.Map(workers(base.Parallel), cfgs,
+	results, err := runner.Map(ctx, workers(base.Parallel), cfgs,
 		func(i int, cfg Config) string {
 			return fmt.Sprintf("compare:%s:%s:%s", cfg.Seed, cfg.Topology, cfg.Policy)
 		},
-		func(i int, cfg Config) (*MixResult, error) { return RunMix(cfg) })
+		func(i int, cfg Config) (*MixResult, error) { return RunMix(context.Background(), cfg) })
 	if err != nil {
 		var je *runner.JobError
 		if errors.As(err, &je) {

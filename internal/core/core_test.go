@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/program"
@@ -29,19 +30,19 @@ func TestNewArbiter(t *testing.T) {
 }
 
 func TestRunMixValidation(t *testing.T) {
-	if _, err := RunMix(Config{Topology: TopologyHomoInO}); err == nil {
+	if _, err := RunMix(context.Background(), Config{Topology: TopologyHomoInO}); err == nil {
 		t.Error("empty mix accepted")
 	}
-	if _, err := RunMix(tiny(TopologyHomoInO, []string{"not-a-benchmark"})); err == nil {
+	if _, err := RunMix(context.Background(), tiny(TopologyHomoInO, []string{"not-a-benchmark"})); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if _, err := RunMix(Config{Topology: Topology(99), Benchmarks: []string{"bzip2"}}); err == nil {
+	if _, err := RunMix(context.Background(), Config{Topology: Topology(99), Benchmarks: []string{"bzip2"}}); err == nil {
 		t.Error("unknown topology accepted")
 	}
 	// Mirage clusters keep one producer: NumOoO > 1 must be rejected.
 	cfg := tiny(TopologyMirage, []string{"bzip2", "gcc"})
 	cfg.NumOoO = 2
-	if _, err := RunMix(cfg); err == nil {
+	if _, err := RunMix(context.Background(), cfg); err == nil {
 		t.Error("multi-producer Mirage accepted")
 	}
 }
@@ -104,7 +105,7 @@ func TestRandomMixes(t *testing.T) {
 }
 
 func TestRunMixHomoInO(t *testing.T) {
-	mr, err := RunMix(tiny(TopologyHomoInO, []string{"bzip2", "namd"}))
+	mr, err := RunMix(context.Background(), tiny(TopologyHomoInO, []string{"bzip2", "namd"}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestRunMixHomoInO(t *testing.T) {
 }
 
 func TestOoOReference(t *testing.T) {
-	ref, err := OoOReference([]string{"hmmer", "astar"}, 300_000, "ref-test")
+	ref, err := OoOReference(context.Background(), []string{"hmmer", "astar"}, 300_000, "ref-test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestOoOReference(t *testing.T) {
 
 func TestCompareProducesAllConfigs(t *testing.T) {
 	mix := []string{"hmmer", "bzip2", "gcc"}
-	cmp, err := Compare(mix, Config{TargetInsts: 300_000, IntervalCycles: 20_000, Seed: "cmp"}, ArbitratorSet)
+	cmp, err := Compare(context.Background(), mix, Config{TargetInsts: 300_000, IntervalCycles: 20_000, Seed: "cmp"}, ArbitratorSet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,11 +167,11 @@ func TestCompareProducesAllConfigs(t *testing.T) {
 func TestRunMixDeterministic(t *testing.T) {
 	cfg := tiny(TopologyMirage, []string{"bzip2", "hmmer"})
 	cfg.Policy = PolicySCMPKI
-	a, err := RunMix(cfg)
+	a, err := RunMix(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunMix(cfg)
+	b, err := RunMix(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

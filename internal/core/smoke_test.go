@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -17,7 +18,7 @@ func TestMirageShape8to1(t *testing.T) {
 		IntervalCycles: 50_000,
 		Seed:           "smoke",
 	}
-	cmp, err := Compare(mix, base, ArbitratorSet)
+	cmp, err := Compare(context.Background(), mix, base, ArbitratorSet)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -54,7 +55,7 @@ func Figure9a() (*Report, error) {
 // Figure11 evaluates the 8:1 configuration per benchmark category: HPD-only
 // mixes, LPD-only mixes and random mixes, reporting STP, OoO utilization
 // and energy relative to Homo-OoO for each arbitrator.
-func Figure11(s Scale) (*Report, error) {
+func Figure11(ctx context.Context, s Scale) (*Report, error) {
 	r := &Report{ID: "Figure 11",
 		Notes: "HPD memoizes more and uses the OoO more; LPD saves more energy; random mixes sit between"}
 	r.Table.Title = "Figure 11: 8:1 by benchmark category"
@@ -81,10 +82,10 @@ func Figure11(s Scale) (*Report, error) {
 			jobs = append(jobs, f11Job{label: kr.label, mi: mi, mix: mix})
 		}
 	}
-	cmps, err := runner.Map(s.workers(), jobs,
+	cmps, err := runner.Map(ctx, s.workers(), jobs,
 		func(_ int, j f11Job) string { return fmt.Sprintf("fig11/%s-%d", j.label, j.mi) },
 		func(_ int, j f11Job) (*core.Comparison, error) {
-			return core.Compare(j.mix, s.baseConfig(fmt.Sprintf("f11-%s-%d", j.label, j.mi)), core.ArbitratorSet)
+			return core.Compare(context.Background(), j.mix, s.baseConfig(fmt.Sprintf("f11-%s-%d", j.label, j.mi)), core.ArbitratorSet)
 		})
 	if err != nil {
 		return nil, err
@@ -114,7 +115,7 @@ func Figure11(s Scale) (*Report, error) {
 // Figure12 reports how the OoO's active time divides among the eight
 // applications of one mix under each arbitrator: maxSTP starves most apps,
 // Fair splits evenly, SC-MPKI-fair caps every app at its 1/n share.
-func Figure12(s Scale) (*Report, error) {
+func Figure12(ctx context.Context, s Scale) (*Report, error) {
 	mix := core.RandomMixes(core.MixRandom, 8, 1, "fig12")[0]
 	r := &Report{ID: "Figure 12",
 		Notes: "share of OoO-active cycles per app; SC-MPKI-fair keeps every app at or below 1/8"}
@@ -128,7 +129,7 @@ func Figure12(s Scale) (*Report, error) {
 	// A single Compare call: let it fan its policy runs out internally.
 	base := s.baseConfig("fig12")
 	base.Parallel = s.workers()
-	cmp, err := core.Compare(mix, base, core.FairSet)
+	cmp, err := core.Compare(ctx, mix, base, core.FairSet)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +154,7 @@ func Figure12(s Scale) (*Report, error) {
 // OoOShares returns each app's share of total OoO time under each policy of
 // the line-up, keyed by policy (for the fairness property tests). The
 // per-policy runs are independent and fan out to the scale's worker pool.
-func OoOShares(s Scale, mix []string, set []struct {
+func OoOShares(ctx context.Context, s Scale, mix []string, set []struct {
 	Policy   core.Policy
 	Topology core.Topology
 }) (map[core.Policy][]float64, error) {
@@ -165,7 +166,7 @@ func OoOShares(s Scale, mix []string, set []struct {
 		cfg.Benchmarks = mix
 		cfgs[i] = cfg
 	}
-	mrs, err := runMixes(s, "shares", cfgs)
+	mrs, err := runMixes(ctx, s, "shares", cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +186,7 @@ func OoOShares(s Scale, mix []string, set []struct {
 
 // Figure13 evaluates the fair arbitrators across cluster sizes:
 // performance, OoO utilization and energy relative to Homo-OoO.
-func Figure13(s Scale) (*Report, error) {
+func Figure13(ctx context.Context, s Scale) (*Report, error) {
 	r := &Report{ID: "Figure 13",
 		Notes: "SC-MPKI-fair reaches Fair's balance while powering the OoO down when memoization suffices"}
 	r.Table.Title = "Figure 13: fair schedulers vs cluster size"
@@ -207,10 +208,10 @@ func Figure13(s Scale) (*Report, error) {
 			jobs = append(jobs, f13Job{n: n, mi: mi, mix: mix})
 		}
 	}
-	cmps, err := runner.Map(s.workers(), jobs,
+	cmps, err := runner.Map(ctx, s.workers(), jobs,
 		func(_ int, j f13Job) string { return fmt.Sprintf("fig13/f13-%d-%d", j.n, j.mi) },
 		func(_ int, j f13Job) (*core.Comparison, error) {
-			return core.Compare(j.mix, s.baseConfig(fmt.Sprintf("f13-%d-%d", j.n, j.mi)), set)
+			return core.Compare(context.Background(), j.mix, s.baseConfig(fmt.Sprintf("f13-%d-%d", j.n, j.mi)), set)
 		})
 	if err != nil {
 		return nil, err
@@ -242,7 +243,7 @@ func Figure13(s Scale) (*Report, error) {
 // Figure14 is the area-neutral study: an 8:1 Mirage cluster under SC-MPKI
 // against a Kumar-style 5:3 traditional Het-CMP under maxSTP, both running
 // the same 8-application mixes.
-func Figure14(s Scale) (*Report, error) {
+func Figure14(ctx context.Context, s Scale) (*Report, error) {
 	r := &Report{ID: "Figure 14",
 		Notes: "one schedule-producing OoO beats two extra OoO cores at similar area"}
 	r.Table.Title = "Figure 14: area-neutral comparison (relative to Homo-OoO)"
@@ -255,11 +256,11 @@ func Figure14(s Scale) (*Report, error) {
 		cmp *core.Comparison
 		tr  *core.MixResult
 	}
-	points, err := runner.Map(s.workers(), mixes,
+	points, err := runner.Map(ctx, s.workers(), mixes,
 		func(mi int, _ []string) string { return fmt.Sprintf("fig14/f14-%d", mi) },
 		func(mi int, mix []string) (f14Point, error) {
 			base := s.baseConfig(fmt.Sprintf("f14-%d", mi))
-			cmp, err := core.Compare(mix, base, []struct {
+			cmp, err := core.Compare(context.Background(), mix, base, []struct {
 				Policy   core.Policy
 				Topology core.Topology
 			}{{core.PolicySCMPKI, core.TopologyMirage}})
@@ -271,7 +272,7 @@ func Figure14(s Scale) (*Report, error) {
 			tCfg.Policy = core.PolicyMaxSTP
 			tCfg.Benchmarks = mix
 			tCfg.NumOoO = 3
-			tr, err := core.RunMix(tCfg)
+			tr, err := core.RunMix(context.Background(), tCfg)
 			if err != nil {
 				return f14Point{}, err
 			}
@@ -303,8 +304,8 @@ func Figure14(s Scale) (*Report, error) {
 }
 
 // Figure14Numbers returns the area-neutral STP/energy pair for tests.
-func Figure14Numbers(s Scale) (stpMirage, stpTrad, energyMirage, energyTrad float64, err error) {
-	rep, err := Figure14(s)
+func Figure14Numbers(ctx context.Context, s Scale) (stpMirage, stpTrad, energyMirage, energyTrad float64, err error) {
+	rep, err := Figure14(ctx, s)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
@@ -319,7 +320,7 @@ func Figure14Numbers(s Scale) (stpMirage, stpTrad, energyMirage, energyTrad floa
 
 // Figure15 reports migration transfer costs as a fraction of execution time
 // plus migration frequency, per benchmark category, for 8:1 SC-MPKI runs.
-func Figure15(s Scale) (*Report, error) {
+func Figure15(ctx context.Context, s Scale) (*Report, error) {
 	r := &Report{ID: "Figure 15",
 		Notes: "HPD migrates more often (schedule production); overall transfer overhead stays well under 1%"}
 	r.Table.Title = "Figure 15: migration transfer costs (8:1, SC-MPKI)"
@@ -343,7 +344,7 @@ func Figure15(s Scale) (*Report, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	mrs, err := runMixes(s, "fig15", cfgs)
+	mrs, err := runMixes(ctx, s, "fig15", cfgs)
 	if err != nil {
 		return nil, err
 	}

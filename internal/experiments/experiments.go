@@ -10,10 +10,12 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/runner"
@@ -57,10 +59,10 @@ func (s Scale) workers() int {
 
 // runMixes simulates a batch of independent configurations on the scale's
 // worker pool, returning results in input order. name labels jobs in errors.
-func runMixes(s Scale, name string, cfgs []core.Config) ([]*core.MixResult, error) {
-	return runner.Map(s.workers(), cfgs,
+func runMixes(ctx context.Context, s Scale, name string, cfgs []core.Config) ([]*core.MixResult, error) {
+	return runner.Map(ctx, s.workers(), cfgs,
 		func(_ int, cfg core.Config) string { return name + "/" + cfg.Seed + ":" + string(cfg.Policy) },
-		func(_ int, cfg core.Config) (*core.MixResult, error) { return core.RunMix(cfg) })
+		func(_ int, cfg core.Config) (*core.MixResult, error) { return core.RunMix(context.Background(), cfg) })
 }
 
 // QuickScale runs every experiment in seconds-to-minutes.
@@ -166,7 +168,12 @@ type sweepResult struct {
 	byPolicy map[core.Policy][]sweepPoint
 }
 
-var sweepCache runner.Cache[string, *sweepResult]
+// sweepCache's abandon grace lets a caller whose context ends mid-sweep
+// still harvest the flight's partial-result error (*runner.Canceled with
+// completed/total counts) instead of a bare context error — the server's
+// 504 detail rides on it — while keeping abandonment latency well under
+// the 100ms bound the e2e cancellation test enforces.
+var sweepCache = runner.Cache[string, *sweepResult]{AbandonGrace: 40 * time.Millisecond}
 
 // ResetCaches drops every memoized simulation result the experiment layer
 // holds (the sweep, per-benchmark profile and CPI caches). The determinism
@@ -184,9 +191,13 @@ func ResetCaches() {
 // results are scheduling-independent — and the per-n averages below are
 // accumulated over the collated slice in the same order the old serial loop
 // used, keeping every downstream figure bit-identical at any parallelism.
-func runSweep(s Scale) (*sweepResult, error) {
-	key := fmt.Sprintf("%s/%d/%d/%d", s.Name, s.TargetInsts, s.IntervalCycles, s.MixesPerPoint)
-	return sweepCache.Do(key, func() (*sweepResult, error) {
+// The sweep is memoized through a singleflight cache keyed by every scale
+// knob that changes the result; the flight runs under a detached context so
+// concurrent callers (CLI + several server requests) share one pass, and
+// only when every caller abandons it does the sweep stop scheduling jobs.
+func runSweep(ctx context.Context, s Scale) (*sweepResult, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d/%v", s.Name, s.TargetInsts, s.IntervalCycles, s.MixesPerPoint, s.NValues)
+	res, _, err := sweepCache.DoContext(ctx, key, func(fctx context.Context) (*sweepResult, error) {
 		type sweepJob struct {
 			n, mi int
 			mix   []string
@@ -198,10 +209,10 @@ func runSweep(s Scale) (*sweepResult, error) {
 				jobs = append(jobs, sweepJob{n: n, mi: mi, mix: mix})
 			}
 		}
-		cmps, err := runner.Map(s.workers(), jobs,
+		cmps, err := runner.Map(fctx, s.workers(), jobs,
 			func(_ int, j sweepJob) string { return fmt.Sprintf("sweep/sw-%d-%d", j.n, j.mi) },
 			func(_ int, j sweepJob) (*core.Comparison, error) {
-				return core.Compare(j.mix, s.baseConfig(fmt.Sprintf("sw-%d-%d", j.n, j.mi)), core.ArbitratorSet)
+				return core.Compare(context.Background(), j.mix, s.baseConfig(fmt.Sprintf("sw-%d-%d", j.n, j.mi)), core.ArbitratorSet)
 			})
 		if err != nil {
 			return nil, err
@@ -236,12 +247,13 @@ func runSweep(s Scale) (*sweepResult, error) {
 		}
 		return res, nil
 	})
+	return res, err
 }
 
 // Figure7 reports STP relative to a Homo-OoO CMP for each arbitrator across
 // cluster sizes (the throughput-aware arbitration comparison).
-func Figure7(s Scale) (*Report, error) {
-	sw, err := runSweep(s)
+func Figure7(ctx context.Context, s Scale) (*Report, error) {
+	sw, err := runSweep(ctx, s)
 	if err != nil {
 		return nil, err
 	}
@@ -262,8 +274,8 @@ func Figure7(s Scale) (*Report, error) {
 }
 
 // Figure8 reports relative energy consumption for the same sweep.
-func Figure8(s Scale) (*Report, error) {
-	sw, err := runSweep(s)
+func Figure8(ctx context.Context, s Scale) (*Report, error) {
+	sw, err := runSweep(ctx, s)
 	if err != nil {
 		return nil, err
 	}
@@ -285,8 +297,8 @@ func Figure8(s Scale) (*Report, error) {
 
 // Figure9b reports the fraction of cycles the OoO was active per arbitrator
 // and cluster size.
-func Figure9b(s Scale) (*Report, error) {
-	sw, err := runSweep(s)
+func Figure9b(ctx context.Context, s Scale) (*Report, error) {
+	sw, err := runSweep(ctx, s)
 	if err != nil {
 		return nil, err
 	}
@@ -307,8 +319,8 @@ func Figure9b(s Scale) (*Report, error) {
 
 // Headline reports the abstract's numbers for the 8:1 configuration plus
 // the scaling knee where OoO starvation saturates.
-func Headline(s Scale) (*Report, error) {
-	sw, err := runSweep(s)
+func Headline(ctx context.Context, s Scale) (*Report, error) {
+	sw, err := runSweep(ctx, s)
 	if err != nil {
 		return nil, err
 	}

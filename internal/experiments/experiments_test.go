@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestTable1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment runs are slow")
 	}
-	rep, err := Table1(tinyScale)
+	rep, err := Table1(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestFigure1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment runs are slow")
 	}
-	rep, err := Figure1(tinyScale)
+	rep, err := Figure1(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestFigure2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment runs are slow")
 	}
-	rep, err := Figure2(tinyScale)
+	rep, err := Figure2(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFigure3bShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment runs are slow")
 	}
-	rep, err := Figure3b(tinyScale)
+	rep, err := Figure3b(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFigure5Correlation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment runs are slow")
 	}
-	spike, base, err := Figure5Correlation(tinyScale)
+	spike, base, err := Figure5Correlation(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestFairnessCap(t *testing.T) {
 		t.Skip("experiment runs are slow")
 	}
 	mix := core.RandomMixes(core.MixRandom, 8, 1, "fair-cap")[0]
-	byPolicy, err := OoOShares(tinyScale, mix, []struct {
+	byPolicy, err := OoOShares(context.Background(), tinyScale, mix, []struct {
 		Policy   core.Policy
 		Topology core.Topology
 	}{{core.PolicySCMPKIFair, core.TopologyMirage}})
@@ -234,7 +235,7 @@ func TestMaxSTPStarves(t *testing.T) {
 		t.Skip("experiment runs are slow")
 	}
 	mix := core.RandomMixes(core.MixRandom, 8, 1, "starve")[0]
-	byPolicy, err := OoOShares(tinyScale, mix, []struct {
+	byPolicy, err := OoOShares(context.Background(), tinyScale, mix, []struct {
 		Policy   core.Policy
 		Topology core.Topology
 	}{{core.PolicyMaxSTP, core.TopologyTraditional}})
@@ -260,7 +261,7 @@ func TestHeadlineBands(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment runs are slow")
 	}
-	rep, err := Headline(tinyScale)
+	rep, err := Headline(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestSCSizePlateau(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment runs are slow")
 	}
-	stp, err := SCSizeNumbers(tinyScale)
+	stp, err := SCSizeNumbers(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}

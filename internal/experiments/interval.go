@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,7 +27,7 @@ import (
 //   - The fraction of instructions usefully memoized when the OoO may only
 //     refresh an infinite SC every n cycles: memoizability decays as the
 //     interval outgrows schedule lifetimes and phase lengths.
-func Figure3b(s Scale) (*Report, error) {
+func Figure3b(ctx context.Context, s Scale) (*Report, error) {
 	intervals := []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000}
 	mix := []string{"bzip2", "hmmer"}
 
@@ -38,7 +39,7 @@ func Figure3b(s Scale) (*Report, error) {
 	// Each interval is an independent pair of measurements; fan them out and
 	// add rows from the collated slice in interval order.
 	type ivPoint struct{ perf, memo float64 }
-	points, err := runner.Map(s.workers(), intervals,
+	points, err := runner.Map(ctx, s.workers(), intervals,
 		func(_ int, iv int64) string { return fmt.Sprintf("fig3b/iv-%d", iv) },
 		func(_ int, iv int64) (ivPoint, error) {
 			perf, err := pingPongPerf(s, mix, iv)
@@ -66,13 +67,13 @@ func pingPongPerf(s Scale, mix []string, interval int64) (float64, error) {
 	base.Benchmarks = mix
 	base.TargetInsts = s.TargetInsts / 2
 	base.IntervalCycles = interval
-	stable, err := core.RunMix(base)
+	stable, err := core.RunMix(context.Background(), base)
 	if err != nil {
 		return 0, err
 	}
 	moved := base
 	moved.PingPongEvery = 1
-	moving, err := core.RunMix(moved)
+	moving, err := core.RunMix(context.Background(), moved)
 	if err != nil {
 		return 0, err
 	}

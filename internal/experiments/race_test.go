@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -25,7 +26,7 @@ func TestProfileConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			got[g], errs[g] = profile(s, "hmmer")
+			got[g], errs[g] = profile(context.Background(), s, "hmmer")
 		}()
 	}
 	close(start)
@@ -47,7 +48,7 @@ func TestProfileConcurrent(t *testing.T) {
 	// other tests rely on.)
 	s2 := s
 	s2.Name = "tiny-race-2"
-	again, err := profile(s2, "hmmer")
+	again, err := profile(context.Background(), s2, "hmmer")
 	if err != nil {
 		t.Fatal(err)
 	}

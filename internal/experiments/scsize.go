@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -17,7 +18,7 @@ var SCSizes = []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
 
 // SCSize reproduces the SC sizing study on an 8:1 Mirage cluster: STP and
 // OoO utilization versus Schedule Cache capacity.
-func SCSize(s Scale) (*Report, error) {
+func SCSize(ctx context.Context, s Scale) (*Report, error) {
 	r := &Report{ID: "SC size",
 		Notes: "Section 4.2: STP plateaus around 8KB while the SC's area/leakage keep growing; the paper picks 8KB"}
 	r.Table.Title = "SC sizing study (8:1, SC-MPKI)"
@@ -37,7 +38,7 @@ func SCSize(s Scale) (*Report, error) {
 			jobs = append(jobs, scJob{capBytes: capBytes, mi: mi, mix: mix})
 		}
 	}
-	mrs, err := runner.Map(s.workers(), jobs,
+	mrs, err := runner.Map(ctx, s.workers(), jobs,
 		func(_ int, j scJob) string { return fmt.Sprintf("scsize/%d-%d", j.capBytes, j.mi) },
 		func(_ int, j scJob) (*core.MixResult, error) {
 			cfg := s.baseConfig(fmt.Sprintf("scsize-%d-%d", j.capBytes, j.mi))
@@ -45,7 +46,7 @@ func SCSize(s Scale) (*Report, error) {
 			cfg.Policy = core.PolicySCMPKI
 			cfg.Benchmarks = j.mix
 			cfg.SCCapacityBytes = j.capBytes
-			return core.RunMixWithBaseline(cfg)
+			return core.RunMixWithBaseline(context.Background(), cfg)
 		})
 	if err != nil {
 		return nil, err
@@ -65,8 +66,8 @@ func SCSize(s Scale) (*Report, error) {
 }
 
 // SCSizeNumbers returns the STP series for tests (indexed like SCSizes).
-func SCSizeNumbers(s Scale) ([]float64, error) {
-	rep, err := SCSize(s)
+func SCSizeNumbers(ctx context.Context, s Scale) ([]float64, error) {
+	rep, err := SCSize(ctx, s)
 	if err != nil {
 		return nil, err
 	}

@@ -5,8 +5,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -38,12 +40,15 @@ type benchProfile struct {
 // package-global map — a latent data race once Table 1 / Figures 1-2 run
 // concurrently with anything else profiling; runner.Cache gives the same
 // memoization with singleflight semantics (see TestProfileConcurrent).
-var profileCache runner.Cache[string, *benchProfile]
+var profileCache = runner.Cache[string, *benchProfile]{AbandonGrace: 40 * time.Millisecond}
 
-// profile measures one benchmark standalone on both core types.
-func profile(s Scale, name string) (*benchProfile, error) {
+// profile measures one benchmark standalone on both core types. Concurrent
+// callers for the same (scale, benchmark) share one flight; the flight
+// context is detached from any single caller, so a request abandoning its
+// profile does not kill it for others.
+func profile(ctx context.Context, s Scale, name string) (*benchProfile, error) {
 	key := s.Name + "/" + name
-	return profileCache.Do(key, func() (*benchProfile, error) {
+	p, _, err := profileCache.DoContext(ctx, key, func(fctx context.Context) (*benchProfile, error) {
 		b := program.ByName(name)
 		if b == nil {
 			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
@@ -54,7 +59,7 @@ func profile(s Scale, name string) (*benchProfile, error) {
 			cfg := s.baseConfig("profile")
 			cfg.Topology = topo
 			cfg.Benchmarks = []string{name}
-			mr, err := core.RunMix(cfg)
+			mr, err := core.RunMix(fctx, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -74,6 +79,7 @@ func profile(s Scale, name string) (*benchProfile, error) {
 		p.memoFrac, p.oraclePerfRel = oracleMemoization(b)
 		return p, nil
 	})
+	return p, err
 }
 
 // oracleMemoization measures the Figure 2 quantities: with perfect control
@@ -144,16 +150,16 @@ func categoryAgg(ps []*benchProfile, f func(*benchProfile) float64) (overall, hp
 // allProfiles profiles the whole suite, fanning the per-benchmark jobs out
 // to the scale's worker pool; the cache's singleflight semantics keep each
 // benchmark profiled once even when figures run concurrently.
-func allProfiles(s Scale) ([]*benchProfile, error) {
-	return runner.Map(s.workers(), program.Names(),
+func allProfiles(ctx context.Context, s Scale) ([]*benchProfile, error) {
+	return runner.Map(ctx, s.workers(), program.Names(),
 		func(_ int, name string) string { return "profile/" + name },
-		func(_ int, name string) (*benchProfile, error) { return profile(s, name) })
+		func(_ int, name string) (*benchProfile, error) { return profile(context.Background(), s, name) })
 }
 
 // Table1 reproduces the benchmark classification: IPC ratio per benchmark
 // with its HPD/LPD category (< 60% => HPD).
-func Table1(s Scale) (*Report, error) {
-	ps, err := allProfiles(s)
+func Table1(ctx context.Context, s Scale) (*Report, error) {
+	ps, err := allProfiles(ctx, s)
 	if err != nil {
 		return nil, err
 	}
@@ -189,8 +195,8 @@ func Table2() *Report {
 
 // Figure1 reproduces the InO-vs-OoO comparison: performance, power, energy
 // and area of the InO relative to the OoO, overall and per category.
-func Figure1(s Scale) (*Report, error) {
-	ps, err := allProfiles(s)
+func Figure1(ctx context.Context, s Scale) (*Report, error) {
+	ps, err := allProfiles(ctx, s)
 	if err != nil {
 		return nil, err
 	}
@@ -217,8 +223,8 @@ func Figure1(s Scale) (*Report, error) {
 // Figure2 reproduces the oracle memoization study: the fraction of
 // instructions that can be usefully memoized and the resulting InO
 // performance, relative to the OoO, per category.
-func Figure2(s Scale) (*Report, error) {
-	ps, err := allProfiles(s)
+func Figure2(ctx context.Context, s Scale) (*Report, error) {
+	ps, err := allProfiles(ctx, s)
 	if err != nil {
 		return nil, err
 	}

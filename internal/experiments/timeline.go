@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -15,14 +16,14 @@ import (
 // Mirage cluster. Phase changes show up as IPC level shifts with ΔSC-MPKI
 // spikes in their immediate locus, which is exactly the signal the SC-MPKI
 // arbitrator keys on.
-func Figure5(s Scale) (*Report, error) {
+func Figure5(ctx context.Context, s Scale) (*Report, error) {
 	cfg := s.baseConfig("fig5")
 	cfg.Topology = core.TopologyMirage
 	cfg.Policy = core.PolicySCMPKI
 	cfg.Benchmarks = []string{"bzip2", "namd", "gamess"}
 	cfg.TargetInsts = s.TargetInsts * 4 // long enough to cross several phases
 	cfg.IntervalCycles = s.IntervalCycles / 2
-	mr, err := core.RunMix(cfg)
+	mr, err := core.RunMix(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -44,14 +45,14 @@ func Figure5(s Scale) (*Report, error) {
 // Figure5Correlation quantifies the figure's claim for tests: intervals
 // right after a large ΔSC-MPKI spike are more likely to be scheduled on the
 // OoO than average intervals.
-func Figure5Correlation(s Scale) (spikeMigrations, baseMigrations float64, err error) {
+func Figure5Correlation(ctx context.Context, s Scale) (spikeMigrations, baseMigrations float64, err error) {
 	cfg := s.baseConfig("fig5")
 	cfg.Topology = core.TopologyMirage
 	cfg.Policy = core.PolicySCMPKI
 	cfg.Benchmarks = []string{"bzip2", "namd", "gamess"}
 	cfg.TargetInsts = s.TargetInsts * 4
 	cfg.IntervalCycles = s.IntervalCycles / 2
-	mr, err := core.RunMix(cfg)
+	mr, err := core.RunMix(ctx, cfg)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -91,7 +92,7 @@ func onOoO(b bool) string {
 // OoO residency and mean speedup; the paper's qualitative claims are that
 // maxSTP parks hmmer on the OoO and starves bzip2, while SC-MPKI memoizes
 // hmmer and bzip2, frees the OoO, and leaves astar alone in both cases.
-func Figure10(s Scale) (*Report, error) {
+func Figure10(ctx context.Context, s Scale) (*Report, error) {
 	mix := []string{"astar", "hmmer", "bzip2"}
 	r := &Report{ID: "Figure 10",
 		Notes: "maxSTP parks the worst-slowdown app on the OoO; SC-MPKI memoizes instead and powers down"}
@@ -105,7 +106,7 @@ func Figure10(s Scale) (*Report, error) {
 		{core.PolicyMaxSTP, core.TopologyTraditional},
 		{core.PolicySCMPKI, core.TopologyMirage},
 	}
-	cmps, err := runner.Map(s.workers(), points,
+	cmps, err := runner.Map(ctx, s.workers(), points,
 		func(_ int, pt struct {
 			policy core.Policy
 			topo   core.Topology
@@ -116,7 +117,7 @@ func Figure10(s Scale) (*Report, error) {
 			policy core.Policy
 			topo   core.Topology
 		}) (*core.Comparison, error) {
-			return core.Compare(mix, s.baseConfig("fig10"), []struct {
+			return core.Compare(context.Background(), mix, s.baseConfig("fig10"), []struct {
 				Policy   core.Policy
 				Topology core.Topology
 			}{{pt.policy, pt.topo}})

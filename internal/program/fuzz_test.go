@@ -1,0 +1,122 @@
+package program_test
+
+// FuzzProgramGen drives the workload generator with arbitrary parameters
+// and checks the structural invariants every consumer of a Benchmark relies
+// on: dependence edges point strictly backwards, loop-carried edges stay in
+// range, and the OinO replay engine's register-lifetime sweep accepts every
+// generated trace without panicking.
+
+import (
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/pipeline"
+	"repro/internal/program"
+)
+
+// paramsFromBytes derives generator parameters from fuzz input. Values are
+// clamped to the bounds the suite itself stays within, but deliberately
+// cover the degenerate edges (zero phases, one-instruction traces, empty
+// names) so Generate's own normalization is exercised.
+func paramsFromBytes(data []byte) program.Params {
+	b := func(i int) int {
+		if i < len(data) {
+			return int(data[i])
+		}
+		return 0
+	}
+	frac := func(i int) float64 { return float64(b(i)) / 255 }
+	nameLen := b(0) % 65
+	if nameLen > len(data) {
+		nameLen = len(data)
+	}
+	tl := 1 + b(4)%300
+	return program.Params{
+		Name:           string(data[:nameLen]),
+		Category:       program.Category(b(1) % 4),
+		NumPhases:      b(2) % 5,          // 0 hits the <=0 default path
+		LoopsPerPhase:  b(3) % 7,          // 0 likewise
+		PhaseLen:       int64(b(2)) * 500, // 0..127500, 0 hits defaults
+		TraceLenMin:    tl,
+		TraceLenMax:    tl + b(5)%50,
+		Chains:         b(6) % 17, // 0 hits the default path
+		Layout:         program.Layout(b(7) % 3),
+		FPFrac:         frac(8),
+		MulFrac:        frac(9) / 2,
+		LoadFrac:       frac(10) / 2,
+		StoreFrac:      frac(11) / 4,
+		MemProfile:     program.MemProfile(b(12) % 4),
+		RandomAddrFrac: frac(13),
+		Branch: branch.Behaviour{
+			TakenBias:  frac(14),
+			Entropy:    frac(15),
+			PatternLen: b(16) % 32,
+		},
+		Stability:     frac(17),
+		IrregularFrac: frac(18),
+		AliasRate:     frac(19) / 10,
+	}
+}
+
+func FuzzProgramGen(f *testing.F) {
+	f.Add([]byte("seed"))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("mcf-like\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bench := program.Generate(paramsFromBytes(data))
+		if bench == nil {
+			t.Fatal("Generate returned nil")
+		}
+		if len(bench.Phases) == 0 {
+			t.Fatal("benchmark has no phases")
+		}
+		if bench.PhaseLen() <= 0 {
+			t.Fatalf("non-positive phase span %d", bench.PhaseLen())
+		}
+		for pi, ph := range bench.Phases {
+			for li, loop := range ph.Loops {
+				tr, deps := loop.Trace, loop.Deps
+				if tr == nil || deps == nil {
+					t.Fatalf("phase %d loop %d: nil trace or deps", pi, li)
+				}
+				n := len(tr.Insts)
+				if n == 0 {
+					t.Fatalf("phase %d loop %d: empty trace", pi, li)
+				}
+				if len(deps.Preds) != n || len(deps.CarriedPreds) != n {
+					t.Fatalf("phase %d loop %d: dep graph size %d/%d for %d insts",
+						pi, li, len(deps.Preds), len(deps.CarriedPreds), n)
+				}
+				for j := 0; j < n; j++ {
+					// In-trace dependences must point strictly backwards:
+					// a forward or self edge would deadlock the pipeline
+					// engine's ready-list.
+					for _, p := range deps.Preds[j] {
+						if p < 0 || p >= j {
+							t.Fatalf("phase %d loop %d inst %d: pred %d not in [0,%d)",
+								pi, li, j, p, j)
+						}
+					}
+					// Loop-carried producers come from the previous
+					// iteration, so any in-range index is legal.
+					for _, p := range deps.CarriedPreds[j] {
+						if p < 0 || p >= n {
+							t.Fatalf("phase %d loop %d inst %d: carried pred %d not in [0,%d)",
+								pi, li, j, p, n)
+						}
+					}
+				}
+				// The replay engine's register-lifetime sweep must accept
+				// the trace under the identity schedule.
+				order := make([]uint16, n)
+				for j := range order {
+					order[j] = uint16(j)
+				}
+				if v := pipeline.MaxLiveVersions(tr, order); v < 1 {
+					t.Fatalf("phase %d loop %d: MaxLiveVersions = %d, want >= 1", pi, li, v)
+				}
+			}
+		}
+	})
+}

@@ -1,47 +1,188 @@
 package runner
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
 
-// Cache is a concurrency-safe keyed memoization with singleflight-style
-// per-key once semantics: the first caller of Do for a key runs fn; callers
-// arriving while fn runs block and share the result (value or error) instead
-// of recomputing it. It replaces the experiment layer's unsynchronized
+// ErrTransient marks a computation failure as load-dependent rather than
+// input-dependent. A flight whose error wraps ErrTransient is evicted on
+// completion instead of cached, so later callers retry: a sweep rejected by
+// the server's admission control (saturation, draining) must not poison the
+// cache for the identical request arriving after the load spike.
+var ErrTransient = errors.New("transient failure")
+
+// Cache is a concurrency-safe keyed memoization with singleflight semantics:
+// the first caller for a key starts a "flight" running fn; callers arriving
+// while the flight is in progress block and share its result instead of
+// recomputing it. It replaces the experiment layer's unsynchronized
 // package-global maps, which were latent data races once jobs run in
-// parallel.
+// parallel, and is the deduplication layer behind the miraged server.
+//
+// Flights are context-aware (DoContext): waiters can abandon a flight when
+// their request context ends, and a flight whose every waiter has left is
+// cancelled and evicted so it does not burn simulation time for nobody.
+// Completed flights are cached forever — value or error alike, because
+// deterministic workloads fail deterministically — except when the error is
+// the flight's own cancellation or wraps ErrTransient.
 //
 // The zero value is ready to use.
 type Cache[K comparable, V any] struct {
+	// AbandonGrace bounds how long the last abandoning waiter lingers for
+	// the flight to settle before walking away. A small grace lets a
+	// deadline-exceeded request still harvest the flight's partial-result
+	// error (e.g. *Canceled with completed/total counts) instead of
+	// returning a bare context error. Zero means leave immediately.
+	AbandonGrace time.Duration
+
 	mu sync.Mutex
-	m  map[K]*cacheEntry[V]
+	m  map[K]*flight[V]
 }
 
-type cacheEntry[V any] struct {
-	once sync.Once
-	v    V
-	err  error
+// flight is one in-progress or settled computation.
+type flight[V any] struct {
+	done    chan struct{} // closed when v/err are settled
+	v       V
+	err     error
+	settled bool // guarded by Cache.mu (for abandon/settle races)
+
+	waiters int                // guarded by Cache.mu
+	cancel  context.CancelFunc // cancels the flight's own context
 }
 
 // Do returns the cached result for key, computing it with fn on first use.
 // Concurrent calls for the same key run fn exactly once; errors are cached
 // like values (deterministic workloads fail deterministically, so retrying
-// would recompute the same failure).
+// would recompute the same failure). Do never abandons the flight — it
+// blocks until fn settles.
 func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
-	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[K]*cacheEntry[V])
-	}
-	e, ok := c.m[key]
-	if !ok {
-		e = &cacheEntry[V]{}
-		c.m[key] = e
-	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.v, e.err = fn() })
-	return e.v, e.err
+	v, _, err := c.DoContext(context.Background(), key, func(context.Context) (V, error) { return fn() })
+	return v, err
 }
 
-// Len returns the number of cached keys (entries whose computation has at
-// least started).
+// DoContext is the context-aware Do. The first caller for key starts fn on
+// a new goroutine under a flight context that inherits ctx's values (e.g.
+// the WithTelemetry registry) but NOT its cancellation: later callers share
+// the flight, so one request's deadline must not kill the computation for
+// everyone. fn must honour fctx — it is cancelled only when every waiter
+// has abandoned the flight.
+//
+// shared reports whether this call attached to a flight started by an
+// earlier caller (or hit an already-settled entry) — the server's
+// singleflight hit counter is built on it.
+//
+// When ctx ends before the flight settles, DoContext returns ctx's error.
+// If this caller was the flight's last waiter the flight is cancelled; the
+// caller then waits up to AbandonGrace for fn to return so the flight's
+// partial-result error (wrapped alongside the context error) survives to
+// the caller. Flights that settle with an error caused by their own
+// cancellation, or wrapping ErrTransient, are evicted rather than cached.
+func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func(context.Context) (V, error)) (v V, shared bool, err error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*flight[V])
+	}
+	f, ok := c.m[key]
+	if ok {
+		if f.settled {
+			c.mu.Unlock()
+			return f.v, true, f.err
+		}
+		f.waiters++
+		c.mu.Unlock()
+		return c.wait(ctx, key, f, true)
+	}
+
+	// Leader: start the flight. The flight context drops ctx's cancellation
+	// (context.WithoutCancel) so a shared computation outlives any single
+	// request, but keeps its values so telemetry attribution flows through.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f = &flight[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.m[key] = f
+	c.mu.Unlock()
+
+	go func() {
+		v, err := fn(fctx)
+		c.mu.Lock()
+		f.v, f.err = v, err
+		f.settled = true
+		// Evict rather than cache when the failure is not a property of the
+		// inputs: the flight was cancelled out from under fn, or fn flagged
+		// the error as transient (admission-control rejections).
+		if err != nil && (fctx.Err() != nil || errors.Is(err, ErrTransient)) {
+			if c.m[key] == f {
+				delete(c.m, key)
+			}
+		}
+		c.mu.Unlock()
+		cancel() // release the context's timer/goroutine resources
+		close(f.done)
+	}()
+	return c.wait(ctx, key, f, false)
+}
+
+// wait blocks until the flight settles or ctx ends, maintaining the waiter
+// count and triggering last-waiter-out cancellation.
+func (c *Cache[K, V]) wait(ctx context.Context, key K, f *flight[V], shared bool) (V, bool, error) {
+	select {
+	case <-f.done:
+		c.mu.Lock()
+		f.waiters--
+		c.mu.Unlock()
+		return f.v, shared, f.err
+	case <-ctx.Done():
+	}
+
+	// Abandon: detach from the flight. If we are the last waiter, the
+	// computation has nobody left to deliver to — cancel it and remove the
+	// flight from the map (under the same lock as the waiter decrement, so
+	// a late joiner either sees the flight before removal and bumps waiters
+	// first, or misses it entirely and starts fresh).
+	c.mu.Lock()
+	f.waiters--
+	if f.settled {
+		// Settled in the race between ctx.Done and acquiring the lock:
+		// the result is ready, deliver it.
+		c.mu.Unlock()
+		return f.v, shared, f.err
+	}
+	last := f.waiters == 0
+	if last && c.m[key] == f {
+		delete(c.m, key)
+	}
+	c.mu.Unlock()
+
+	if last {
+		f.cancel()
+		if c.AbandonGrace > 0 {
+			// Give fn a moment to observe the cancellation and return, so
+			// its partial-result error reaches this caller.
+			t := time.NewTimer(c.AbandonGrace)
+			defer t.Stop()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					return f.v, shared, nil
+				}
+				// Join unless fn returned the literal context error — a
+				// richer error (e.g. *Canceled) must survive even though it
+				// wraps the same sentinel ctx.Err() reports.
+				if f.err != ctx.Err() {
+					var zero V
+					return zero, shared, errors.Join(ctx.Err(), f.err)
+				}
+			case <-t.C:
+			}
+		}
+	}
+	var zero V
+	return zero, shared, ctx.Err()
+}
+
+// Len returns the number of cached keys (settled entries plus in-flight
+// computations that still have waiters).
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,7 +1,7 @@
 // Package runner is the parallel execution engine behind the experiment
-// harness: a bounded worker pool that runs a slice of named, independent
-// simulation jobs concurrently and collates their results in submission
-// order.
+// harness and the miraged server: a bounded worker pool that runs a slice of
+// named, independent simulation jobs concurrently and collates their results
+// in submission order.
 //
 // Determinism is the design constraint. Every simulation in this repository
 // derives all of its randomness from a per-job seed string (internal/xrand),
@@ -18,13 +18,25 @@
 // not started yet; jobs already running finish (simulations cannot be
 // interrupted mid-run).
 //
-// The package is stdlib-only: sync, channels and runtime.GOMAXPROCS.
+// Cancellation is cooperative and job-granular: when the context passed to
+// Run is cancelled, no further jobs are scheduled, jobs already running
+// finish, and Run returns a *Canceled partial-result error recording how far
+// it got. A *telemetry.Registry attached via WithTelemetry makes the
+// scheduling observable ("runner.jobs.completed" / "runner.jobs.cancelled"),
+// which the server's cancellation tests assert on.
+//
+// Outside the optional telemetry hook the package is stdlib-only: context,
+// sync, channels and runtime.GOMAXPROCS.
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Job is one named unit of work producing a T.
@@ -51,6 +63,45 @@ func (e *JobError) Error() string {
 // Unwrap exposes the underlying failure to errors.Is/As.
 func (e *JobError) Unwrap() error { return e.Err }
 
+// Canceled is the partial-result error Run returns when its context is
+// cancelled before every job has run: Completed of Total jobs finished, the
+// rest were never scheduled. Cause is the context's error, so
+// errors.Is(err, context.Canceled / context.DeadlineExceeded) works.
+type Canceled struct {
+	Completed int
+	Total     int
+	Cause     error
+}
+
+// Error implements error.
+func (e *Canceled) Error() string {
+	return fmt.Sprintf("runner: canceled after %d/%d jobs: %v", e.Completed, e.Total, e.Cause)
+}
+
+// Unwrap exposes the context error to errors.Is/As.
+func (e *Canceled) Unwrap() error { return e.Cause }
+
+// telemetryKey carries an optional *telemetry.Registry through a context.
+type telemetryKey struct{}
+
+// WithTelemetry returns a context carrying reg; Run invocations under it
+// count scheduling on the registry's "runner.jobs.completed" and
+// "runner.jobs.cancelled" counters. The association survives singleflight
+// re-parenting (Cache.DoContext detaches cancellation, not values).
+func WithTelemetry(ctx context.Context, reg *telemetry.Registry) context.Context {
+	if reg == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, telemetryKey{}, reg)
+}
+
+// registryFrom recovers the registry attached by WithTelemetry; a nil return
+// is fine — nil registries hand out nil instruments whose methods are no-ops.
+func registryFrom(ctx context.Context) *telemetry.Registry {
+	reg, _ := ctx.Value(telemetryKey{}).(*telemetry.Registry)
+	return reg
+}
+
 // Run executes jobs on up to `workers` goroutines and returns their results
 // in submission order: results[i] is jobs[i]'s result regardless of which
 // worker ran it or when it finished.
@@ -60,7 +111,14 @@ func (e *JobError) Unwrap() error { return e.Err }
 // wrapping the lowest-indexed job error — the same job a serial loop would
 // have stopped at — and cancels jobs that have not started; in-flight jobs
 // run to completion but their results are discarded.
-func Run[T any](workers int, jobs []Job[T]) ([]T, error) {
+//
+// Cancelling ctx stops scheduling: jobs not yet started are skipped, running
+// jobs finish, and Run returns a *Canceled error carrying the completed/total
+// counts (job failures observed before the cancellation take precedence).
+func Run[T any](ctx context.Context, workers int, jobs []Job[T]) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(jobs)
 	if n == 0 {
 		return nil, nil
@@ -72,13 +130,18 @@ func Run[T any](workers int, jobs []Job[T]) ([]T, error) {
 		workers = n
 	}
 	if workers == 1 {
-		return runSerial(jobs)
+		return runSerial(ctx, jobs)
 	}
+
+	reg := registryFrom(ctx)
+	cDone := reg.Counter("runner.jobs.completed")
+	cSkip := reg.Counter("runner.jobs.cancelled")
 
 	results := make([]T, n)
 	var (
-		mu       sync.Mutex
-		firstErr *JobError
+		mu        sync.Mutex
+		firstErr  *JobError
+		completed atomic.Int64
 	)
 	// cancelled reports whether job i should be skipped: only a recorded
 	// failure at a LOWER index cancels it. Skipping solely "after any
@@ -99,7 +162,7 @@ func Run[T any](workers int, jobs []Job[T]) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if cancelled(i) {
+				if cancelled(i) || ctx.Err() != nil {
 					continue // skip, keep draining
 				}
 				v, err := jobs[i].Run()
@@ -112,39 +175,61 @@ func Run[T any](workers int, jobs []Job[T]) ([]T, error) {
 					continue
 				}
 				results[i] = v
+				completed.Add(1)
+				cDone.Inc()
 			}
 		}()
 	}
 	// Feed indexes in submission order; workers drain the channel even after
-	// a failure, so this never blocks indefinitely.
+	// a failure, so this never blocks indefinitely. A context cancellation
+	// stops the feed — that is the "stop scheduling new jobs" contract.
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if done := int(completed.Load()); done < n {
+		if err := ctx.Err(); err != nil {
+			cSkip.Add(int64(n - done))
+			return nil, &Canceled{Completed: done, Total: n, Cause: err}
+		}
+	}
 	return results, nil
 }
 
 // runSerial is the workers==1 path and the reference semantics: run each job
-// in order, stop at the first error.
-func runSerial[T any](jobs []Job[T]) ([]T, error) {
+// in order, stop at the first error or at the cancellation point.
+func runSerial[T any](ctx context.Context, jobs []Job[T]) ([]T, error) {
+	reg := registryFrom(ctx)
+	cDone := reg.Counter("runner.jobs.completed")
+	cSkip := reg.Counter("runner.jobs.cancelled")
 	results := make([]T, len(jobs))
 	for i := range jobs {
+		if err := ctx.Err(); err != nil {
+			cSkip.Add(int64(len(jobs) - i))
+			return nil, &Canceled{Completed: i, Total: len(jobs), Cause: err}
+		}
 		v, err := jobs[i].Run()
 		if err != nil {
 			return nil, &JobError{Name: jobs[i].Name, Index: i, Err: err}
 		}
 		results[i] = v
+		cDone.Inc()
 	}
 	return results, nil
 }
 
 // Map runs f over every item with bounded parallelism and returns the
 // results in item order. name labels jobs for errors; nil derives "job-i".
-func Map[S, T any](workers int, items []S, name func(i int, item S) string, f func(i int, item S) (T, error)) ([]T, error) {
+func Map[S, T any](ctx context.Context, workers int, items []S, name func(i int, item S) string, f func(i int, item S) (T, error)) ([]T, error) {
 	jobs := make([]Job[T], len(items))
 	for i := range items {
 		i, item := i, items[i]
@@ -154,5 +239,5 @@ func Map[S, T any](workers int, items []S, name func(i int, item S) string, f fu
 		}
 		jobs[i] = Job[T]{Name: jn, Run: func() (T, error) { return f(i, item) }}
 	}
-	return Run(workers, jobs)
+	return Run(ctx, workers, jobs)
 }

@@ -1,17 +1,20 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
 func TestRunEmpty(t *testing.T) {
-	res, err := Run[int](4, nil)
+	res, err := Run[int](context.Background(), 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +45,7 @@ func TestRunProperty(t *testing.T) {
 				},
 			}
 		}
-		res, err := Run(workers, jobs)
+		res, err := Run(context.Background(), workers, jobs)
 		if err != nil {
 			t.Fatalf("trial %d (n=%d workers=%d): %v", trial, n, workers, err)
 		}
@@ -89,7 +92,7 @@ func TestRunErrorCancelsStragglers(t *testing.T) {
 			return 0, nil
 		}}
 	}
-	res, err := Run(workers, jobs)
+	res, err := Run(context.Background(), workers, jobs)
 	if res != nil {
 		t.Fatalf("failed run returned results: %v", res)
 	}
@@ -124,7 +127,7 @@ func TestRunFirstErrorDeterministic(t *testing.T) {
 			jobs[i] = Job[int]{Name: fmt.Sprintf("job%d", i), Run: func() (int, error) { return i, err }}
 		}
 		for _, workers := range []int{1, 2, 5, 12} {
-			_, err := Run(workers, jobs)
+			_, err := Run(context.Background(), workers, jobs)
 			if !errors.Is(err, errLow) {
 				t.Fatalf("workers=%d: error %v, want the lowest-indexed failure", workers, err)
 			}
@@ -140,7 +143,7 @@ func TestRunSerialStopsAtFirstError(t *testing.T) {
 		{Name: "bad", Run: func() (int, error) { return 0, boom }},
 		{Name: "never", Run: func() (int, error) { after.Add(1); return 2, nil }},
 	}
-	if _, err := Run(1, jobs); !errors.Is(err, boom) {
+	if _, err := Run(context.Background(), 1, jobs); !errors.Is(err, boom) {
 		t.Fatalf("error %v", err)
 	}
 	if after.Load() != 0 {
@@ -148,9 +151,76 @@ func TestRunSerialStopsAtFirstError(t *testing.T) {
 	}
 }
 
+// TestRunContextCanceled: cancelling the context mid-run stops scheduling,
+// returns a *Canceled partial-result error, and counts skipped jobs on the
+// telemetry registry attached via WithTelemetry.
+func TestRunContextCanceled(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 32
+			reg := telemetry.NewRegistry()
+			ctx, cancel := context.WithCancel(WithTelemetry(context.Background(), reg))
+			defer cancel()
+			var started atomic.Int64
+			jobs := make([]Job[int], n)
+			for i := range jobs {
+				i := i
+				jobs[i] = Job[int]{Name: fmt.Sprintf("job%d", i), Run: func() (int, error) {
+					if started.Add(1) == int64(workers) {
+						cancel() // cancel once every worker is busy
+					}
+					return i, nil
+				}}
+			}
+			res, err := Run(ctx, workers, jobs)
+			if res != nil {
+				t.Fatalf("cancelled run returned results: %v", res)
+			}
+			var ce *Canceled
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v, want *Canceled", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v does not wrap context.Canceled", err)
+			}
+			if ce.Total != n || ce.Completed >= n {
+				t.Fatalf("Canceled{Completed: %d, Total: %d}, want partial progress out of %d",
+					ce.Completed, ce.Total, n)
+			}
+			done := reg.Counter("runner.jobs.completed").Value()
+			skip := reg.Counter("runner.jobs.cancelled").Value()
+			if int(done) != ce.Completed {
+				t.Errorf("telemetry completed=%d, Canceled.Completed=%d", done, ce.Completed)
+			}
+			if int(done+skip) != n {
+				t.Errorf("completed=%d + cancelled=%d != %d jobs", done, skip, n)
+			}
+		})
+	}
+}
+
+// TestRunContextPreCanceled: an already-dead context runs nothing.
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	jobs := []Job[int]{{Name: "j", Run: func() (int, error) { ran.Add(1); return 1, nil }}}
+	for _, workers := range []int{1, 4} {
+		_, err := Run(ctx, workers, jobs)
+		var ce *Canceled
+		if !errors.As(err, &ce) || ce.Completed != 0 {
+			t.Fatalf("workers=%d: error %v, want *Canceled with 0 completed", workers, err)
+		}
+	}
+	if ran.Load() != 0 {
+		t.Errorf("pre-cancelled context still ran %d jobs", ran.Load())
+	}
+}
+
 func TestMapOrderAndNames(t *testing.T) {
 	items := []string{"a", "b", "c", "d"}
-	res, err := Map(3, items, nil, func(i int, s string) (string, error) {
+	res, err := Map(context.Background(), 3, items, nil, func(i int, s string) (string, error) {
 		return fmt.Sprintf("%d:%s", i, s), nil
 	})
 	if err != nil {
@@ -164,7 +234,7 @@ func TestMapOrderAndNames(t *testing.T) {
 	}
 
 	boom := errors.New("boom")
-	_, err = Map(2, items, func(i int, s string) string { return "item/" + s },
+	_, err = Map(context.Background(), 2, items, func(i int, s string) string { return "item/" + s },
 		func(i int, s string) (string, error) {
 			if i == 2 {
 				return "", boom
@@ -248,5 +318,161 @@ func TestCacheErrorAndReset(t *testing.T) {
 	v, err := c.Do("k", func() (int, error) { return 7, nil })
 	if err != nil || v != 7 {
 		t.Fatalf("post-reset recompute: (%d, %v)", v, err)
+	}
+}
+
+// TestCacheDoContextShared: concurrent DoContext callers share one flight;
+// exactly one reports shared=false (the leader) and the rest shared=true,
+// as do later callers hitting the settled entry.
+func TestCacheDoContextShared(t *testing.T) {
+	var c Cache[string, int]
+	const goroutines = 8
+	var computes, leaders atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := c.DoContext(context.Background(), "k", func(context.Context) (int, error) {
+				<-gate // park the leader so the others attach to its flight
+				computes.Add(1)
+				return 99, nil
+			})
+			if err != nil || v != 99 {
+				t.Errorf("(%d, %v)", v, err)
+			}
+			if !shared {
+				leaders.Add(1)
+			}
+		}()
+	}
+	// Whether a goroutine joins the in-progress flight or arrives after it
+	// settles, it must report shared=true; only the flight creator reports
+	// shared=false, and fn runs exactly once either way.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Errorf("fn computed %d times, want 1", computes.Load())
+	}
+	if leaders.Load() != 1 {
+		t.Errorf("%d callers reported shared=false, want exactly 1", leaders.Load())
+	}
+	// Settled entry: shared=true, no recompute.
+	v, shared, err := c.DoContext(context.Background(), "k", func(context.Context) (int, error) { return -1, nil })
+	if err != nil || v != 99 || !shared {
+		t.Errorf("settled hit: (%d, shared=%v, %v)", v, shared, err)
+	}
+}
+
+// TestCacheAbandonCancelsFlight: when every waiter abandons a flight, the
+// flight context is cancelled, the entry is evicted (no error caching), and
+// a later caller recomputes.
+func TestCacheAbandonCancelsFlight(t *testing.T) {
+	var c Cache[string, int]
+	c.AbandonGrace = time.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	flightCancelled := make(chan struct{})
+	go cancel()
+	_, _, err := c.DoContext(ctx, "k", func(fctx context.Context) (int, error) {
+		<-fctx.Done()
+		close(flightCancelled)
+		return 0, &Canceled{Completed: 3, Total: 10, Cause: fctx.Err()}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	// AbandonGrace let the flight settle, so its partial-result error must
+	// ride along with the context error.
+	var ce *Canceled
+	if !errors.As(err, &ce) || ce.Completed != 3 {
+		t.Fatalf("error %v does not carry the flight's *Canceled detail", err)
+	}
+	select {
+	case <-flightCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("flight context never cancelled after last waiter left")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("abandoned flight still cached (%d keys)", c.Len())
+	}
+	v, shared, err := c.DoContext(context.Background(), "k", func(context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 || shared {
+		t.Fatalf("post-abandon recompute: (%d, shared=%v, %v)", v, shared, err)
+	}
+}
+
+// TestCacheTransientNotCached: errors wrapping ErrTransient are evicted on
+// completion so the next caller retries.
+func TestCacheTransientNotCached(t *testing.T) {
+	var c Cache[string, int]
+	transient := fmt.Errorf("server saturated: %w", ErrTransient)
+	if _, _, err := c.DoContext(context.Background(), "k",
+		func(context.Context) (int, error) { return 0, transient }); !errors.Is(err, ErrTransient) {
+		t.Fatalf("error %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("transient failure cached (%d keys)", c.Len())
+	}
+	v, _, err := c.DoContext(context.Background(), "k", func(context.Context) (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("retry after transient: (%d, %v)", v, err)
+	}
+
+	// Plain errors, by contrast, stay cached through DoContext too.
+	boom := errors.New("boom")
+	if _, _, err := c.DoContext(context.Background(), "p",
+		func(context.Context) (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error %v", err)
+	}
+	if _, _, err := c.DoContext(context.Background(), "p",
+		func(context.Context) (int, error) { return 1, nil }); !errors.Is(err, boom) {
+		t.Fatalf("deterministic error was not cached: %v", err)
+	}
+}
+
+// TestCacheFlightSurvivesOneWaiterLeaving: with two waiters, one abandoning
+// must not cancel the flight for the other.
+func TestCacheFlightSurvivesOneWaiterLeaving(t *testing.T) {
+	var c Cache[string, int]
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var flightErr atomic.Bool
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := c.DoContext(context.Background(), "k", func(fctx context.Context) (int, error) {
+			close(leaderIn)
+			<-gate
+			if fctx.Err() != nil {
+				flightErr.Store(true)
+			}
+			return 11, nil
+		})
+		if err != nil || v != 11 {
+			t.Errorf("surviving waiter: (%d, %v)", v, err)
+		}
+	}()
+
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	abandoned := make(chan struct{})
+	go func() {
+		defer close(abandoned)
+		_, _, err := c.DoContext(ctx, "k", func(context.Context) (int, error) { return -1, nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("abandoning waiter: %v", err)
+		}
+	}()
+	// Let the second waiter attach, then pull it off the flight.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	<-abandoned
+	close(gate)
+	<-done
+	if flightErr.Load() {
+		t.Error("flight context cancelled while a waiter remained")
 	}
 }

@@ -1,0 +1,45 @@
+// Package server is the miraged HTTP/JSON API: simulation-as-a-service over
+// the experiment layer. Requests are validated into canonical job keys,
+// deduplicated through a singleflight cache, and executed on a bounded
+// admission-controlled pool; responses reuse the experiment layer's JSON
+// encoders so a report fetched over HTTP is byte-identical to the one
+// cmd/mirageexp writes for the same scale and seed (DESIGN.md §10).
+package server
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// Backend is the simulation engine behind the API. The production
+// implementation (SimBackend) drives internal/core and internal/experiments
+// directly; tests substitute controllable fakes to exercise deadline,
+// cancellation and saturation behaviour without real simulation latency.
+//
+// Both methods must honour ctx: once it ends they stop scheduling new
+// runner jobs and return, typically with a *runner.Canceled partial-result
+// error describing how far they got.
+type Backend interface {
+	// Run simulates one cluster configuration and returns the result with
+	// STP populated against the Homo-OoO reference.
+	Run(ctx context.Context, cfg core.Config) (*core.MixResult, error)
+	// Reports runs the named registry experiments (IDs or slugs) at the
+	// given scale and returns their reports in canonical registry order.
+	Reports(ctx context.Context, s experiments.Scale, ids []string) ([]*experiments.Report, error)
+}
+
+// SimBackend is the real Backend: a thin adapter over the core and
+// experiments entry points.
+type SimBackend struct{}
+
+// Run implements Backend.
+func (SimBackend) Run(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
+	return core.RunMixWithBaseline(ctx, cfg)
+}
+
+// Reports implements Backend.
+func (SimBackend) Reports(ctx context.Context, s experiments.Scale, ids []string) ([]*experiments.Report, error) {
+	return experiments.Reports(ctx, s, ids)
+}

@@ -1,0 +1,79 @@
+package server
+
+// FuzzServerDecodeRequest throws arbitrary bytes at the decode/validate
+// path of both POST endpoints: whatever the body, the server must never
+// panic and never blame itself (5xx). Malformed JSON specifically must be
+// rejected with a 4xx. The backend is a fast fake, so any input that does
+// validate exercises the full handler (cache, admission, encoding) too.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func FuzzServerDecodeRequest(f *testing.F) {
+	f.Add("/v1/run", `{"mix": ["hmmer"]}`)
+	f.Add("/v1/run", `{"mix": [`)
+	f.Add("/v1/run", `{"mix": ["hmmer"], "topology": "traditional", "num_ooo": 2, "seed": "s"}`)
+	f.Add("/v1/run", `{"mix": ["hmmer"]} trailing`)
+	f.Add("/v1/run", `null`)
+	f.Add("/v1/run", `{"mix": ["hmmer"], "timeout_ms": -5}`)
+	f.Add("/v1/sweep", `{"scale": "tiny"}`)
+	f.Add("/v1/sweep", "{\"scale\": \"\u0000\"}")
+	f.Add("/v1/sweep", `[1,2,3]`)
+
+	srv := newFuzzServer()
+	f.Fuzz(func(t *testing.T, path, body string) {
+		if path != "/v1/run" && path != "/v1/sweep" {
+			path = "/v1/run"
+		}
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // must not panic
+		if rec.Code >= 500 {
+			t.Fatalf("%s %q -> %d (server blamed itself):\n%s", path, body, rec.Code, rec.Body.Bytes())
+		}
+		if !json.Valid([]byte(body)) && (rec.Code < 400 || rec.Code > 499) {
+			t.Fatalf("%s: malformed JSON %q -> %d, want 4xx", path, body, rec.Code)
+		}
+		if rec.Code >= 400 && !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("%s %q -> %d with non-JSON error body:\n%s", path, body, rec.Code, rec.Body.Bytes())
+		}
+		if rec.Code == http.StatusOK {
+			// Bound cache growth across the fuzz run.
+			srv.ResetCache()
+		}
+	})
+}
+
+// newFuzzServer is a server whose backend answers instantly, so fuzz
+// throughput measures the decode path rather than simulation time.
+func newFuzzServer() *Server {
+	return New(Config{
+		Scales: map[string]experiments.Scale{
+			"quick": experiments.QuickScale,
+			"tiny":  tinyScale,
+		},
+		Backend: fakeBackend{
+			run: func(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
+				return fakeMixResult(cfg), nil
+			},
+			reports: func(ctx context.Context, s experiments.Scale, ids []string) ([]*experiments.Report, error) {
+				var out []*experiments.Report
+				for _, id := range ids {
+					rep := &experiments.Report{ID: id}
+					rep.Table.AddRow("fuzz", "fixture")
+					out = append(out, rep)
+				}
+				return out, nil
+			},
+		},
+	})
+}

@@ -1,0 +1,531 @@
+// The HTTP server: routing, admission control, singleflight response
+// caching, status mapping and graceful shutdown. See DESIGN.md §10.
+
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+)
+
+// StatusClientClosedRequest is the non-standard status (nginx convention)
+// recorded when the client went away before the response was ready. No
+// client observes it; it keeps logs and telemetry unambiguous.
+const StatusClientClosedRequest = 499
+
+// Admission-control rejections wrap runner.ErrTransient so a rejected
+// flight is evicted from the response cache instead of poisoning the key:
+// the identical request after the load spike must retry, not replay a 429.
+var (
+	errSaturated = fmt.Errorf("too many queued jobs: %w", runner.ErrTransient)
+	errDraining  = fmt.Errorf("server is draining: %w", runner.ErrTransient)
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// Backend runs the simulations; nil selects SimBackend.
+	Backend Backend
+	// MaxInFlight bounds jobs executing concurrently (default 2). A "job"
+	// is a deduplicated unit of simulation work — cache hits and joined
+	// flights consume no slot.
+	MaxInFlight int
+	// MaxQueue bounds jobs waiting for a slot beyond MaxInFlight (default
+	// 8); past it requests fail fast with 429.
+	MaxQueue int
+	// DefaultTimeout applies when a request names none (default 60s);
+	// MaxTimeout caps what a request may ask for (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Parallel is the per-simulation worker budget handed to the
+	// experiment layer (0 = GOMAXPROCS). Responses are byte-identical at
+	// any setting; only latency changes.
+	Parallel int
+	// Scales are the named experiment scales requests may select; nil
+	// installs {"quick", "full"}.
+	Scales map[string]experiments.Scale
+	// Telemetry instruments the server and every simulation it launches;
+	// nil allocates a fresh one. Counters are safe under concurrent
+	// requests; /v1/metrics exports them.
+	Telemetry *telemetry.Telemetry
+	// AbandonGrace is how long a request lingers after its deadline for
+	// the flight to surface a partial-result error (default 40ms — the
+	// e2e contract returns within 100ms of cancellation).
+	AbandonGrace time.Duration
+}
+
+// Server is the miraged HTTP API. Create with New; it implements
+// http.Handler.
+type Server struct {
+	cfg     Config
+	backend Backend
+	tel     *telemetry.Telemetry
+	reg     *telemetry.Registry
+	mux     *http.ServeMux
+
+	// cache deduplicates work and memoizes encoded response bodies by
+	// canonical job key: concurrent identical requests share one flight,
+	// later ones are served bytes with zero simulation.
+	cache runner.Cache[string, []byte]
+
+	// slots is the admission semaphore (capacity MaxInFlight); queued
+	// counts waiters beyond it, bounded by MaxQueue.
+	slots  chan struct{}
+	queued chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	active   int
+	idle     chan struct{} // closed when draining and active hits 0
+}
+
+// New builds a Server from cfg, applying defaults for zero fields.
+func New(cfg Config) *Server {
+	if cfg.Backend == nil {
+		cfg.Backend = SimBackend{}
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 8
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+	if cfg.Scales == nil {
+		cfg.Scales = map[string]experiments.Scale{
+			"quick": experiments.QuickScale,
+			"full":  experiments.FullScale,
+		}
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New()
+	}
+	if cfg.AbandonGrace <= 0 {
+		cfg.AbandonGrace = 40 * time.Millisecond
+	}
+	s := &Server{
+		cfg:     cfg,
+		backend: cfg.Backend,
+		tel:     cfg.Telemetry,
+		reg:     cfg.Telemetry.Reg(),
+		slots:   make(chan struct{}, cfg.MaxInFlight),
+		queued:  make(chan struct{}, cfg.MaxQueue),
+	}
+	s.cache.AbandonGrace = cfg.AbandonGrace
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.track(s.handleRun))
+	s.mux.HandleFunc("POST /v1/sweep", s.track(s.handleSweep))
+	s.mux.HandleFunc("GET /v1/figures/{id}", s.track(s.handleFigure))
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Telemetry returns the server's telemetry (for embedding callers and
+// tests asserting on counters).
+func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// ResetCache drops memoized response bodies (tests and memory bounding).
+func (s *Server) ResetCache() { s.cache.Reset() }
+
+// ActiveRequests reports requests currently inside simulation handlers.
+func (s *Server) ActiveRequests() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Shutdown drains the server: new simulation requests are rejected with
+// 503, in-flight handlers run to completion, and Shutdown returns once the
+// server is idle or ctx ends (returning ctx.Err() with handlers still
+// active). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.active == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.idle == nil {
+		s.idle = make(chan struct{})
+	}
+	idle := s.idle
+	s.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// track wraps a simulation handler with request accounting: the draining
+// check, the active-request gauge, and the total-request counter.
+func (s *Server) track(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter("server.requests").Inc()
+		if !s.enter() {
+			s.writeError(w, http.StatusServiceUnavailable, "server is draining", nil, 5,
+				"server.requests.draining")
+			return
+		}
+		defer s.leave()
+		h(w, r)
+	}
+}
+
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	s.reg.Gauge("server.requests.active").Set(float64(s.active))
+	return true
+}
+
+func (s *Server) leave() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active--
+	s.reg.Gauge("server.requests.active").Set(float64(s.active))
+	if s.draining && s.active == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+}
+
+// admit acquires an execution slot for a flight leader, or fails fast:
+// errDraining when the server is shutting down, errSaturated when both the
+// slots and the wait queue are full, ctx.Err() when the flight is
+// abandoned while queued. Cache hits never reach admit — only the leader
+// of a new flight pays for a slot.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return nil, errDraining
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, nil
+	default:
+	}
+	select {
+	case s.queued <- struct{}{}:
+		defer func() { <-s.queued }()
+	default:
+		return nil, errSaturated
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// requestContext derives the job context: the client's cancellation, the
+// effective deadline, and the server's telemetry registry for the runner's
+// scheduling counters.
+func (s *Server) requestContext(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx := runner.WithTelemetry(r.Context(), s.reg)
+	return context.WithTimeout(ctx, timeout)
+}
+
+// execute runs one deduplicated job: first caller per key leads a flight
+// (admission slot, then fn), everyone else shares it.
+func (s *Server) execute(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, bool, error) {
+	return s.cache.DoContext(ctx, key, func(fctx context.Context) ([]byte, error) {
+		release, err := s.admit(fctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		s.reg.Counter("server.jobs.executed").Inc()
+		return fn(fctx)
+	})
+}
+
+// scale resolves a request's scale name against the registered scales and
+// stamps in the server-wide parallelism and telemetry (neither is part of
+// any job key: results are bit-identical at any parallelism).
+func (s *Server) scale(name string) (experiments.Scale, *apiError) {
+	if name == "" {
+		name = "quick"
+	}
+	sc, ok := s.cfg.Scales[name]
+	if !ok {
+		return experiments.Scale{}, badRequest("unknown scale %q", name)
+	}
+	sc.Parallel = s.cfg.Parallel
+	sc.Telemetry = s.tel
+	return sc, nil
+}
+
+// --- endpoint handlers ---
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if aerr := decodeJSON(r, &req); aerr != nil {
+		s.invalid(w, aerr)
+		return
+	}
+	rj, aerr := s.validateRun(&req)
+	if aerr != nil {
+		s.invalid(w, aerr)
+		return
+	}
+	ctx, cancel := s.requestContext(r, rj.timeout)
+	defer cancel()
+	body, shared, err := s.execute(ctx, rj.key, func(fctx context.Context) ([]byte, error) {
+		mr, err := s.backend.Run(fctx, rj.cfg)
+		if err != nil {
+			return nil, err
+		}
+		return encodeRunResponse(rj, mr)
+	})
+	s.finish(w, ctx, body, shared, err)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if aerr := decodeJSON(r, &req); aerr != nil {
+		s.invalid(w, aerr)
+		return
+	}
+	j, sc, aerr := s.validateSweep(&req)
+	if aerr != nil {
+		s.invalid(w, aerr)
+		return
+	}
+	ctx, cancel := s.requestContext(r, j.timeout)
+	defer cancel()
+	body, shared, err := s.execute(ctx, j.key, func(fctx context.Context) ([]byte, error) {
+		reports, err := s.backend.Reports(fctx, sc, experiments.SweepIDs)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := experiments.WriteReportsJSON(&buf, reports); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	s.finish(w, ctx, body, shared, err)
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	exp, ok := experiments.ByName(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown experiment %q", r.PathValue("id")), nil, 0,
+			"server.requests.invalid")
+		return
+	}
+	q := r.URL.Query()
+	var timeoutMS int64
+	if v := q.Get("timeout_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			s.invalid(w, badRequest("invalid timeout_ms %q", v))
+			return
+		}
+		timeoutMS = ms
+	}
+	sc, aerr := s.scale(q.Get("scale"))
+	if aerr != nil {
+		s.invalid(w, aerr)
+		return
+	}
+	key := fmt.Sprintf("figure|%s|scale=%s|insts=%d|interval=%d|mixes=%d|n=%v",
+		exp.Slug, sc.Name, sc.TargetInsts, sc.IntervalCycles, sc.MixesPerPoint, sc.NValues)
+	ctx, cancel := s.requestContext(r, s.timeout(timeoutMS))
+	defer cancel()
+	body, shared, err := s.execute(ctx, key, func(fctx context.Context) ([]byte, error) {
+		reports, err := s.backend.Reports(fctx, sc, []string{exp.ID})
+		if err != nil {
+			return nil, err
+		}
+		if len(reports) != 1 {
+			return nil, fmt.Errorf("experiment %s yielded %d reports", exp.ID, len(reports))
+		}
+		var buf bytes.Buffer
+		if err := reports[0].WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	s.finish(w, ctx, body, shared, err)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	active := s.active
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n \"status\": %q,\n \"active_requests\": %d\n}\n", status, active)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tel.WriteMetrics(w); err != nil {
+		// Headers are gone; nothing to do but note it.
+		s.reg.Counter("server.metrics.write_errors").Inc()
+	}
+}
+
+// --- response writing ---
+
+// errorDetail carries machine-readable failure context; today that is the
+// partial-result progress of a cancelled sweep.
+type errorDetail struct {
+	CompletedJobs int `json:"completed_jobs"`
+	TotalJobs     int `json:"total_jobs"`
+}
+
+// errorResponse is the JSON body of every non-2xx API response.
+type errorResponse struct {
+	Error  string       `json:"error"`
+	Detail *errorDetail `json:"detail,omitempty"`
+}
+
+func (s *Server) invalid(w http.ResponseWriter, aerr *apiError) {
+	s.writeError(w, aerr.status, aerr.msg, nil, 0, "server.requests.invalid")
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string, detail *errorDetail, retryAfterSec int, counter string) {
+	if counter != "" {
+		s.reg.Counter(counter).Inc()
+	}
+	if retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(errorResponse{Error: msg, Detail: detail})
+}
+
+// finish maps an execute result onto the wire. The request context decides
+// between deadline (504) and client-gone (499); admission rejections map to
+// 429/503 with Retry-After; anything else a job produced is a 500.
+func (s *Server) finish(w http.ResponseWriter, ctx context.Context, body []byte, shared bool, err error) {
+	if err == nil {
+		if shared {
+			s.reg.Counter("server.singleflight.hits").Inc()
+		}
+		s.reg.Counter("server.requests.ok").Inc()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+		return
+	}
+	switch {
+	case errors.Is(err, errDraining):
+		s.writeError(w, http.StatusServiceUnavailable, errDraining.Error(), nil, 5,
+			"server.requests.draining")
+	case errors.Is(err, errSaturated):
+		s.writeError(w, http.StatusTooManyRequests, errSaturated.Error(), nil, 1,
+			"server.requests.saturated")
+	case ctx.Err() == context.DeadlineExceeded:
+		s.writeError(w, http.StatusGatewayTimeout,
+			"deadline exceeded: "+err.Error(), canceledDetail(err), 0,
+			"server.requests.deadline")
+	case ctx.Err() == context.Canceled:
+		// The client is gone; the status is for logs and telemetry only.
+		s.reg.Counter("server.requests.cancelled").Inc()
+		w.WriteHeader(StatusClientClosedRequest)
+	default:
+		s.writeError(w, http.StatusInternalServerError,
+			"simulation failed: "+err.Error(), canceledDetail(err), 0,
+			"server.requests.failed")
+	}
+}
+
+// canceledDetail extracts partial-result progress when the error carries a
+// *runner.Canceled (directly or through JobError/errors.Join wrapping).
+func canceledDetail(err error) *errorDetail {
+	var ce *runner.Canceled
+	if errors.As(err, &ce) {
+		return &errorDetail{CompletedJobs: ce.Completed, TotalJobs: ce.Total}
+	}
+	return nil
+}
+
+// encodeRunResponse renders a /v1/run result. Fields derive only from the
+// deterministic simulation outcome, so bodies are byte-identical across
+// processes and parallelism settings.
+func encodeRunResponse(rj *runJob, mr *core.MixResult) ([]byte, error) {
+	type runApp struct {
+		Name         string  `json:"name"`
+		IPC          float64 `json:"ipc"`
+		MemoizedFrac float64 `json:"memoized_frac"`
+		OoOShare     float64 `json:"ooo_share"`
+		Migrations   int64   `json:"migrations"`
+	}
+	type runResponse struct {
+		Key           string   `json:"key"`
+		Topology      string   `json:"topology"`
+		Policy        string   `json:"policy,omitempty"`
+		Mix           []string `json:"mix"`
+		STP           float64  `json:"stp"`
+		EnergyPJ      float64  `json:"energy_pj"`
+		AreaMM2       float64  `json:"area_mm2"`
+		OoOActiveFrac float64  `json:"ooo_active_frac"`
+		Apps          []runApp `json:"apps"`
+	}
+	resp := runResponse{
+		Key:           rj.key,
+		Topology:      mr.Config.Topology.String(),
+		Policy:        string(mr.Config.Policy),
+		Mix:           rj.cfg.Benchmarks,
+		STP:           mr.STP,
+		EnergyPJ:      mr.EnergyPJ,
+		AreaMM2:       mr.AreaMM2,
+		OoOActiveFrac: mr.OoOActiveFrac,
+	}
+	for _, a := range mr.Cluster.Apps {
+		app := runApp{Name: a.Name, IPC: a.IPC, Migrations: int64(a.Migrations)}
+		if a.Insts > 0 {
+			app.MemoizedFrac = float64(a.MemoizedInsts) / float64(a.Insts)
+		}
+		if a.Cycles > 0 {
+			app.OoOShare = float64(a.OoOCycles) / float64(a.Cycles)
+		}
+		resp.Apps = append(resp.Apps, app)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
