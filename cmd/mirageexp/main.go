@@ -29,6 +29,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	parallelFlag := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); reports are bit-identical at any setting")
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs to run (default all)")
+	auditFlag := flag.Bool("audit", false, "run the invariant audit inside every simulation; any violation fails the experiment")
 	jsonOut := flag.String("json-out", "", "write the selected reports as a JSON array to this file")
 	metricsOut := flag.String("metrics-out", "", "write telemetry counters and interval time-series as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
@@ -50,6 +51,7 @@ func main() {
 		os.Exit(2)
 	}
 	scale.Parallel = *parallelFlag
+	scale.Audit = *auditFlag
 
 	var tel *telemetry.Telemetry
 	if *metricsOut != "" || *traceOut != "" {

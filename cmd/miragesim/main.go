@@ -35,6 +35,7 @@ func main() {
 	interval := flag.Int64("interval", 80_000, "arbitration interval in cycles")
 	seed := flag.String("seed", "miragesim", "deterministic seed name")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+	audit := flag.Bool("audit", false, "run the invariant audit alongside the simulation; any violation is a fatal error")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	metricsOut := flag.String("metrics-out", "", "write telemetry counters and interval time-series as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
@@ -97,6 +98,7 @@ func main() {
 		IntervalCycles: *interval,
 		Seed:           *seed,
 		Telemetry:      tel,
+		Audit:          *audit,
 	}
 	// The mix and its Homo-OoO reference are independent simulations; run
 	// them as two runner jobs (the old code also simulated the reference a
@@ -117,7 +119,7 @@ func main() {
 		}},
 		{Name: "ref", Run: func() (struct{}, error) {
 			var err error
-			ref, err = core.OoOReference(context.Background(), mix, *insts, *seed)
+			ref, err = core.OoOReferenceCfg(context.Background(), cfg)
 			return struct{}{}, err
 		}},
 	})

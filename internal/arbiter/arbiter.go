@@ -125,15 +125,17 @@ func (m *MaxSTP) Name() string { return "maxSTP" }
 
 // Decide implements Arbiter.
 func (m *MaxSTP) Decide(apps []AppState, interval int) int {
-	// Forced sampling first: pick the stalest app past its deadline (apps
-	// never sampled count as infinitely stale).
-	stalest, staleAge := None, m.SampleEvery
+	// Forced sampling first: pick the stalest app at or past its deadline —
+	// an app exactly SampleEvery intervals old is due now, not next interval
+	// (apps never sampled count as infinitely stale). Ties keep the first
+	// app in slice order.
+	stalest, staleAge := None, -1
 	for _, a := range apps {
 		age := a.IntervalsSinceOoO
 		if !a.HaveOoOStats {
 			age = math.MaxInt32
 		}
-		if age > staleAge {
+		if age >= m.SampleEvery && age > staleAge {
 			stalest, staleAge = a.Index, age
 		}
 	}
@@ -176,12 +178,45 @@ func NewFair() *Fair { return &Fair{} }
 // Name implements Arbiter.
 func (f *Fair) Name() string { return "Fair" }
 
+// rotate returns the position in apps of the application whose turn it is:
+// the smallest stable Index at or after interval mod P, wrapping to the
+// smallest live Index, where P spans the largest live Index. Rotating over
+// stable indices (rather than positions in the currently-live slice) keeps
+// each surviving application's turn fixed when others finish and leave the
+// slice — indexing the live slice directly would skew the rotation and hand
+// some applications double turns. Returns -1 for an empty slice.
+func rotate(apps []AppState, interval int) int {
+	if len(apps) == 0 {
+		return -1
+	}
+	maxIdx := 0
+	for _, a := range apps {
+		if a.Index > maxIdx {
+			maxIdx = a.Index
+		}
+	}
+	want := interval % (maxIdx + 1)
+	at, wrap := -1, 0
+	for i, a := range apps {
+		if a.Index < apps[wrap].Index {
+			wrap = i
+		}
+		if a.Index >= want && (at < 0 || a.Index < apps[at].Index) {
+			at = i
+		}
+	}
+	if at < 0 {
+		return wrap
+	}
+	return at
+}
+
 // Decide implements Arbiter.
 func (f *Fair) Decide(apps []AppState, interval int) int {
-	if len(apps) == 0 {
-		return None
+	if at := rotate(apps, interval); at >= 0 {
+		return apps[at].Index
 	}
-	return apps[interval%len(apps)].Index
+	return None
 }
 
 // SCMPKIFair is the fairness arbitrator with memoization credit (Eq 3):
@@ -202,16 +237,34 @@ func (f *SCMPKIFair) Name() string { return "SC-MPKI-fair" }
 
 // Decide implements Arbiter.
 func (f *SCMPKIFair) Decide(apps []AppState, interval int) int {
-	n := len(apps)
-	if n == 0 {
+	at := rotate(apps, interval)
+	if at < 0 {
 		return None
 	}
-	share := 1.0 / float64(n)
-	a := apps[interval%n]
+	share := 1.0 / float64(len(apps))
+	a := apps[at]
 	// The candidate takes its turn unless it already meets its share and
 	// its Schedule Cache is still fresh — then conserve energy instead.
 	if a.Util < share || deltaSCMPKI(a) > f.Threshold {
 		return a.Index
 	}
 	return None
+}
+
+// ValidDecision reports whether pick is a legal Decide result over apps:
+// None, or the stable Index of one of the presented applications. The
+// cluster's invariant audit (DESIGN.md §11) applies it to every arbitration
+// decision — a policy returning an index it was never shown (e.g. an app
+// already granted a slot this boundary) is a scheduling bug that would
+// otherwise skew occupancy silently.
+func ValidDecision(apps []AppState, pick int) bool {
+	if pick == None {
+		return true
+	}
+	for _, a := range apps {
+		if a.Index == pick {
+			return true
+		}
+	}
+	return false
 }

@@ -37,6 +37,34 @@ func TestSoftwarePollClamp(t *testing.T) {
 	}
 }
 
+// countingArbiter wraps a fixed pick and records how often it is consulted.
+type countingArbiter struct {
+	calls int
+	pick  int
+}
+
+func (c *countingArbiter) Name() string { return "counting" }
+
+func (c *countingArbiter) Decide(apps []AppState, interval int) int {
+	c.calls++
+	return c.pick
+}
+
+func TestSoftwareDecimatesInnerPolls(t *testing.T) {
+	inner := &countingArbiter{pick: 1}
+	sw := NewSoftware(inner, 10)
+	ss := states(3)
+	for i := 0; i < 50; i++ {
+		if got := sw.Decide(ss, i); got != 1 {
+			t.Fatalf("interval %d picked %d, want held decision 1", i, got)
+		}
+	}
+	// The inner policy runs only at timeslice boundaries: 0, 10, 20, 30, 40.
+	if inner.calls != 5 {
+		t.Errorf("inner arbitrator consulted %d times over 50 intervals, want 5", inner.calls)
+	}
+}
+
 func TestSoftwareName(t *testing.T) {
 	if got := NewSoftware(NewSCMPKI(), 4).Name(); got != "software(SC-MPKI)" {
 		t.Errorf("name %q", got)

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/server"
+)
+
+// Backend wraps a server.Backend with fault injection. Each operation is
+// identified by a canonical key (the same request always maps to the same
+// key, mirroring the server's singleflight keys), and successive calls for
+// a key advance its attempt counter, so the injector's deterministic plan
+// unfolds identically across runs: attempt 0 of a given request always
+// draws the same fault.
+type Backend struct {
+	inner server.Backend
+	inj   *Injector
+
+	mu    sync.Mutex
+	state map[string]*keyState
+	stats map[Kind]int
+}
+
+type keyState struct {
+	attempts int
+	faults   int // failing faults absorbed (budget consumption)
+}
+
+// Wrap builds a fault-injecting Backend around inner.
+func Wrap(inner server.Backend, inj *Injector) *Backend {
+	return &Backend{
+		inner: inner,
+		inj:   inj,
+		state: make(map[string]*keyState),
+		stats: make(map[Kind]int),
+	}
+}
+
+// Injected reports how many faults of each kind this backend has injected
+// (KindNone counts untouched calls).
+func (b *Backend) Injected() map[Kind]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[Kind]int, len(b.stats))
+	for k, v := range b.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// plan advances key's attempt counter and returns this attempt's fault.
+func (b *Backend) plan(key string) Fault {
+	b.mu.Lock()
+	st := b.state[key]
+	if st == nil {
+		st = &keyState{}
+		b.state[key] = st
+	}
+	f := b.inj.Plan(key, st.attempts, st.faults)
+	st.attempts++
+	if f.Kind.Failing() {
+		st.faults++
+	}
+	b.stats[f.Kind]++
+	b.mu.Unlock()
+	return f
+}
+
+// transientErr is the injected load-dependent failure; it wraps
+// runner.ErrTransient so the server's response cache evicts the flight.
+func transientErr(key string) error {
+	return fmt.Errorf("chaos: injected transient failure on %s: %w", key, runner.ErrTransient)
+}
+
+// delay sleeps for f.Delay or until ctx ends.
+func delay(ctx context.Context, f Fault) error {
+	t := time.NewTimer(f.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runKey canonicalizes a simulation config into an operation key, mirroring
+// the fields the server folds into its cache key.
+func runKey(cfg core.Config) string {
+	return fmt.Sprintf("run|%s|%s|%s|%s|%d",
+		cfg.Topology, cfg.Policy, strings.Join(cfg.Benchmarks, ","), cfg.Seed, cfg.TargetInsts)
+}
+
+// reportsKey canonicalizes a reports request into an operation key.
+func reportsKey(s experiments.Scale, ids []string) string {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	return fmt.Sprintf("reports|%s|%s", s.Name, strings.Join(sorted, ","))
+}
+
+// Run implements server.Backend. KindPartial degrades to KindTransient
+// here: a single simulation has no batch to fail midway.
+func (b *Backend) Run(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
+	key := runKey(cfg)
+	f := b.plan(key)
+	switch f.Kind {
+	case KindLatency:
+		if err := delay(ctx, f); err != nil {
+			return nil, err
+		}
+	case KindTransient, KindPartial:
+		return nil, transientErr(key)
+	case KindStall:
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return b.inner.Run(ctx, cfg)
+}
+
+// Reports implements server.Backend.
+func (b *Backend) Reports(ctx context.Context, s experiments.Scale, ids []string) ([]*experiments.Report, error) {
+	key := reportsKey(s, ids)
+	f := b.plan(key)
+	switch f.Kind {
+	case KindLatency:
+		if err := delay(ctx, f); err != nil {
+			return nil, err
+		}
+	case KindTransient:
+		return nil, transientErr(key)
+	case KindStall:
+		<-ctx.Done()
+		return nil, ctx.Err()
+	case KindPartial:
+		total := len(ids)
+		if total == 0 {
+			total = 1
+		}
+		completed := int(f.Frac * float64(total))
+		if completed >= total {
+			completed = total - 1
+		}
+		return nil, &runner.Canceled{
+			Completed: completed,
+			Total:     total,
+			Cause:     transientErr(key),
+		}
+	}
+	return b.inner.Reports(ctx, s, ids)
+}

@@ -1,0 +1,56 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// WrapJobs returns a copy of jobs with fault injection spliced in front of
+// every Run function. Jobs have no context of their own, so context-shaped
+// faults degrade to the nearest job-shaped equivalent: KindStall and
+// KindPartial fail like KindTransient (an error wrapping
+// runner.ErrTransient, which runner.Run surfaces as a *runner.JobError),
+// and KindLatency sleeps inline. Attempt numbers advance per job name
+// across the returned slice's lifetime, so re-running a wrapped job list —
+// a retry loop, a cache-evicted flight — replays the injector's
+// deterministic fault schedule for each job.
+//
+// WrapJobs is a function rather than an Injector method because Go methods
+// cannot introduce type parameters.
+func WrapJobs[T any](inj *Injector, jobs []runner.Job[T]) []runner.Job[T] {
+	var mu sync.Mutex
+	state := make(map[string]*keyState, len(jobs))
+	out := make([]runner.Job[T], len(jobs))
+	for i, j := range jobs {
+		inner := j.Run
+		name := j.Name
+		out[i] = runner.Job[T]{
+			Name: name,
+			Run: func() (T, error) {
+				mu.Lock()
+				st := state[name]
+				if st == nil {
+					st = &keyState{}
+					state[name] = st
+				}
+				f := inj.Plan("job|"+name, st.attempts, st.faults)
+				st.attempts++
+				if f.Kind.Failing() {
+					st.faults++
+				}
+				mu.Unlock()
+				switch f.Kind {
+				case KindLatency:
+					time.Sleep(f.Delay)
+				case KindTransient, KindStall, KindPartial:
+					var zero T
+					return zero, transientErr("job|" + name)
+				}
+				return inner()
+			},
+		}
+	}
+	return out
+}

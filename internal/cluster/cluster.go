@@ -11,10 +11,12 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/arbiter"
 	"repro/internal/energy"
 	"repro/internal/ino"
+	"repro/internal/invariant"
 	"repro/internal/mem"
 	"repro/internal/ooo"
 	"repro/internal/program"
@@ -106,6 +108,12 @@ type Config struct {
 	// and schedule-handoff/replay/squash trace events. Nil (the default)
 	// disables all instrumentation at near-zero cost.
 	Telemetry *telemetry.Telemetry
+
+	// Audit, when non-nil, threads invariant checks through the whole run
+	// (DESIGN.md §11): every pipeline measurement, every arbitration
+	// decision, OoO occupancy, and end-of-run energy-accounting closure.
+	// Violations are recorded on the Auditor; the run itself proceeds.
+	Audit *invariant.Auditor
 }
 
 // withDefaults fills zero fields.
@@ -331,6 +339,10 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		if cfg.Memoize {
 			a.sc = schedcache.New(cfg.SCCapacityBytes)
+		}
+		if cfg.Audit != nil {
+			a.inoC.AttachAudit(cfg.Audit, fmt.Sprintf("%s/app%d.ino", cfg.Seed, i))
+			a.oooC.AttachAudit(cfg.Audit, fmt.Sprintf("%s/app%d.ooo", cfg.Seed, i))
 		}
 		c.apps = append(c.apps, a)
 	}
@@ -681,6 +693,13 @@ func (c *Cluster) measure(a *app, l *program.Loop, m mode, sched *trace.Schedule
 		ms.cyclesPerIter = r.CyclesPerIter
 		ms.perIterEnergy = scaleBreakdown(energy.Compute(energy.KindInO, r.Events), iters)
 	}
+	if aud := c.cfg.Audit; aud != nil {
+		aud.Checkf(!math.IsNaN(ms.cyclesPerIter) && !math.IsInf(ms.cyclesPerIter, 0) && ms.cyclesPerIter >= 0,
+			"cluster.measure", c.cfg.Seed,
+			"trace %d mode %d: cycles/iter %v", l.Trace.ID, m, ms.cyclesPerIter)
+		aud.Checkf(ms.perIterEnergy.Valid(), "energy.breakdown", c.cfg.Seed,
+			"trace %d mode %d: non-finite or negative per-iteration energy component", l.Trace.ID, m)
+	}
 	// First measurement after a migration/new trace runs with cold caches;
 	// keep it for a warmup window, then re-measure warm.
 	ms.coldIters = 48
@@ -746,6 +765,9 @@ func (c *Cluster) arbitrate(interval int, res *Result) {
 	remaining := states
 	for slot := 0; slot < c.cfg.NumOoO && len(remaining) > 0; slot++ {
 		pick := c.cfg.Arbiter.Decide(remaining, interval)
+		c.cfg.Audit.Checkf(arbiter.ValidDecision(remaining, pick), "arbiter.decision",
+			c.cfg.Seed, "interval %d slot %d: %s returned %d, not an offered app index",
+			interval, slot, c.cfg.Arbiter.Name(), pick)
 		if pick == arbiter.None || pick < 0 || pick >= len(c.apps) {
 			break
 		}
@@ -780,6 +802,32 @@ func (c *Cluster) arbitrate(interval int, res *Result) {
 			c.moveToOoO(c.apps[p], res)
 			c.oooOwners = append(c.oooOwners, p)
 		}
+	}
+	if c.cfg.Audit != nil {
+		c.auditOccupancy(interval)
+	}
+}
+
+// auditOccupancy checks the post-arbitration seating invariants: at most
+// NumOoO distinct occupants, and the owner list consistent with every app's
+// onOoO flag — a divergence here double-bills OoO cycles and Eq 3 credit.
+func (c *Cluster) auditOccupancy(interval int) {
+	aud := c.cfg.Audit
+	aud.Checkf(len(c.oooOwners) <= c.cfg.NumOoO, "cluster.ooo_occupancy", c.cfg.Seed,
+		"interval %d: %d OoO occupants, capacity %d", interval, len(c.oooOwners), c.cfg.NumOoO)
+	seen := make(map[int]bool, len(c.oooOwners))
+	for _, o := range c.oooOwners {
+		if !aud.Checkf(o >= 0 && o < len(c.apps), "cluster.ooo_occupancy", c.cfg.Seed,
+			"interval %d: owner index %d out of range", interval, o) {
+			continue
+		}
+		aud.Checkf(!seen[o], "cluster.ooo_occupancy", c.cfg.Seed,
+			"interval %d: app %d seated on two OoO slots", interval, o)
+		seen[o] = true
+	}
+	for i, a := range c.apps {
+		aud.Checkf(a.onOoO == seen[i], "cluster.ooo_occupancy", c.cfg.Seed,
+			"interval %d: app %d onOoO=%v but owner=%v", interval, i, a.onOoO, seen[i])
 	}
 }
 
@@ -935,5 +983,47 @@ func (c *Cluster) finalize(res *Result) {
 	}
 	// The OoO's idle time is power-gated: zero cost (Section 4.2).
 	res.TotalEnergyPJ = total
+	if c.cfg.Audit != nil {
+		c.auditFinalize(res)
+	}
 	c.finalizeTelemetry(res)
+}
+
+// auditFinalize checks end-of-run accounting closure: every per-app
+// breakdown well-formed, the cluster total equal to the sum of per-app
+// component totals plus idle leakage, and OoO active time within the run
+// window. A drift here means energy was dropped or double-counted somewhere
+// between measure() and the report — exactly the class of bug Figure 9b
+// would silently absorb.
+func (c *Cluster) auditFinalize(res *Result) {
+	aud := c.cfg.Audit
+	var want float64
+	for i, ar := range res.Apps {
+		aud.Checkf(ar.EnergyPJ.Valid(), "energy.breakdown", ar.Name,
+			"non-finite or negative component in final breakdown")
+		want += ar.EnergyPJ.Total()
+		if !c.cfg.AllOoO && c.cfg.HasOoO {
+			a := c.apps[i]
+			oooCyc := a.oooCycles
+			if a.completedAt > 0 && a.done != nil {
+				oooCyc = a.done.oooCycles
+			}
+			want += energy.IdleLeakagePJ(energy.KindInO, uint64(oooCyc)) * 0.3
+		}
+	}
+	diff := res.TotalEnergyPJ - want
+	if diff < 0 {
+		diff = -diff
+	}
+	tol := 1e-9 * want
+	if tol < 1e-9 {
+		tol = 1e-9
+	}
+	aud.Checkf(diff <= tol, "energy.closure", c.cfg.Seed,
+		"TotalEnergyPJ %v != per-app component sum %v (diff %v)", res.TotalEnergyPJ, want, diff)
+	if !c.cfg.AllOoO {
+		aud.Checkf(res.OoOActiveCycles >= 0 && res.OoOActiveCycles <= res.RunCycles,
+			"cluster.ooo_occupancy", c.cfg.Seed,
+			"OoO active %d cycles outside run window %d", res.OoOActiveCycles, res.RunCycles)
+	}
 }

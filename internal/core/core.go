@@ -17,6 +17,7 @@ import (
 	"repro/internal/arbiter"
 	"repro/internal/cluster"
 	"repro/internal/energy"
+	"repro/internal/invariant"
 	"repro/internal/program"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -139,6 +140,13 @@ type Config struct {
 	// runs: counters and histograms accumulate totals race-free; see
 	// DESIGN.md §8 for the gauge/trace-ordering caveats.
 	Telemetry *telemetry.Telemetry
+	// Audit enables the invariant audit (DESIGN.md §11): cheap checks
+	// threaded through the pipeline engine, the cores, the arbitration loop
+	// and the energy accounting. Any violation fails the run with a
+	// structured error; violation counts also land in Telemetry (when
+	// attached) under audit.violations*. Off by default — the checks
+	// roughly double the measurement-path cost.
+	Audit bool
 }
 
 // MixResult is a simulated mix outcome with derived metrics.
@@ -234,6 +242,11 @@ func RunMix(ctx context.Context, cfg Config) (*MixResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var aud *invariant.Auditor
+	if cfg.Audit {
+		aud = invariant.New(cfg.Telemetry.Reg())
+		cc.Audit = aud
+	}
 	cl, err := cluster.New(cc)
 	if err != nil {
 		return nil, err
@@ -241,6 +254,9 @@ func RunMix(ctx context.Context, cfg Config) (*MixResult, error) {
 	res, err := cl.Run()
 	if err != nil {
 		return nil, err
+	}
+	if err := aud.Err(); err != nil {
+		return nil, fmt.Errorf("core: %s/%s seed %q: %w", cfg.Topology, cfg.Policy, cfg.Seed, err)
 	}
 	mr := &MixResult{Config: cfg, Cluster: res, EnergyPJ: res.TotalEnergyPJ}
 	for _, a := range res.Apps {
@@ -281,11 +297,25 @@ func AreaK(t Topology, n, numOoO int) float64 {
 // OoOReference runs each benchmark alone on a private OoO core and returns
 // per-app reference IPCs — the denominator of every speedup in Section 5.
 func OoOReference(ctx context.Context, names []string, targetInsts int64, seed string) ([]float64, error) {
-	cfg := Config{
-		Topology:    TopologyHomoOoO,
+	return OoOReferenceCfg(ctx, Config{
 		Benchmarks:  names,
 		TargetInsts: targetInsts,
-		Seed:        seed + ":ref",
+		Seed:        seed,
+	})
+}
+
+// OoOReferenceCfg is OoOReference deriving the reference run from a full
+// base Config, so run-wide modes that are not part of the reference's
+// identity — today the invariant audit — carry over to it. The reference
+// stays uninstrumented and unaffected by base's topology/policy; its seed
+// is base.Seed + ":ref" exactly as OoOReference's always was.
+func OoOReferenceCfg(ctx context.Context, base Config) ([]float64, error) {
+	cfg := Config{
+		Topology:    TopologyHomoOoO,
+		Benchmarks:  base.Benchmarks,
+		TargetInsts: base.TargetInsts,
+		Seed:        base.Seed + ":ref",
+		Audit:       base.Audit,
 	}
 	mr, err := RunMix(ctx, cfg)
 	if err != nil {
@@ -319,7 +349,7 @@ func RunMixWithBaseline(ctx context.Context, cfg Config) (*MixResult, error) {
 		}},
 		{Name: "ref:" + cfg.Seed, Run: func() (struct{}, error) {
 			var err error
-			ref, err = OoOReference(context.Background(), cfg.Benchmarks, cfg.TargetInsts, cfg.Seed)
+			ref, err = OoOReferenceCfg(context.Background(), cfg)
 			return struct{}{}, err
 		}},
 	}

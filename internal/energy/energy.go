@@ -9,7 +9,10 @@
 // dynamic from the bigger PRF and +5.5% from the replay LSQ.
 package energy
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Structure identifies a hardware block for the Figure 9a breakdown.
 type Structure uint8
@@ -213,6 +216,19 @@ func (b Breakdown) Total() float64 {
 		t += v
 	}
 	return t
+}
+
+// Valid reports whether every component is finite and non-negative — the
+// well-formedness half of the audit's energy-closure invariant (DESIGN.md
+// §11): a NaN or negative component would vanish into an otherwise
+// plausible Total.
+func (b Breakdown) Valid() bool {
+	for _, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Compute converts events into a per-structure energy breakdown (pJ) for a

@@ -47,6 +47,9 @@ type Scale struct {
 	// gauges and trace-event interleaving reflect whichever run touched
 	// them last — see DESIGN.md §8.
 	Telemetry *telemetry.Telemetry
+	// Audit threads the invariant audit (DESIGN.md §11) through every
+	// simulation the experiments launch; a violation fails the experiment.
+	Audit bool
 }
 
 // workers lowers Scale.Parallel to a runner worker count.
@@ -91,6 +94,7 @@ func (s Scale) baseConfig(seed string) core.Config {
 		IntervalCycles: s.IntervalCycles,
 		Seed:           seed,
 		Telemetry:      s.Telemetry,
+		Audit:          s.Audit,
 	}
 }
 

@@ -11,6 +11,7 @@ package ino
 
 import (
 	"repro/internal/energy"
+	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
@@ -41,6 +42,9 @@ type Core struct {
 	// reused across measure/replay calls, and cores are built per worker,
 	// so ownership composes with -parallel.
 	eng *pipeline.Engine
+
+	aud      *invariant.Auditor
+	audLabel string
 }
 
 // New builds an InO core.
@@ -53,6 +57,14 @@ func New(h *mem.Hierarchy, rng *xrand.Rand) *Core {
 // default and costs nothing on the measurement path.
 func (c *Core) AttachTelemetry(reg *telemetry.Registry, prefix string) {
 	c.tel = telemetry.NewCoreMetrics(reg, prefix)
+}
+
+// AttachAudit threads the invariant auditor (DESIGN.md §11) into every
+// pipeline measurement this core makes — plain in-order and OinO replay
+// alike; label locates violations (e.g. "core0.ino"). Nil detaches.
+func (c *Core) AttachAudit(a *invariant.Auditor, label string) {
+	c.aud = a
+	c.audLabel = label
 }
 
 // record feeds a finished pipeline measurement into the attached counters.
@@ -96,6 +108,8 @@ func (c *Core) MeasureTrace(t *trace.Trace, deps *trace.DepGraph, walkers []*mem
 		LoadLatency:       func(k int) int { return loadLats[k] },
 		Mispredicts:       func(int) bool { return c.rng.Bool(t.MispredictRate) },
 		FetchGate:         func(it int) int { return fetchGates[it] },
+		Audit:             c.aud,
+		AuditLabel:        c.audLabel,
 	}
 	res := c.eng.Run(req)
 	c.record(&res)
@@ -145,6 +159,8 @@ func (c *Core) MeasureReplay(t *trace.Trace, deps *trace.DepGraph, sched *trace.
 		// like on any in-order core; only memory aliases abort the atomic
 		// trace (handled below).
 		Mispredicts: func(int) bool { return c.rng.Bool(t.MispredictRate) },
+		Audit:       c.aud,
+		AuditLabel:  c.audLabel,
 	}
 	res := c.eng.Run(req)
 	c.record(&res)

@@ -8,6 +8,7 @@ package ooo
 
 import (
 	"repro/internal/energy"
+	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
@@ -38,6 +39,9 @@ type Core struct {
 	// reused across the millions of MeasureTrace calls a sweep makes, and
 	// cores are built per worker, so ownership composes with -parallel.
 	eng *pipeline.Engine
+
+	aud      *invariant.Auditor
+	audLabel string
 }
 
 // New builds an OoO core. The rng drives per-iteration stochastic events
@@ -51,6 +55,14 @@ func New(h *mem.Hierarchy, rng *xrand.Rand) *Core {
 // default and costs nothing on the measurement path.
 func (c *Core) AttachTelemetry(reg *telemetry.Registry, prefix string) {
 	c.tel = telemetry.NewCoreMetrics(reg, prefix)
+}
+
+// AttachAudit threads the invariant auditor (DESIGN.md §11) into every
+// pipeline measurement this core makes; label locates violations (e.g.
+// "core0.ooo"). Nil detaches — the default.
+func (c *Core) AttachAudit(a *invariant.Auditor, label string) {
+	c.aud = a
+	c.audLabel = label
 }
 
 // MeasureIters is the default number of back-to-back iterations simulated
@@ -86,6 +98,8 @@ func (c *Core) MeasureTrace(t *trace.Trace, deps *trace.DepGraph, walkers []*mem
 		LoadLatency:       func(k int) int { return loadLats[k] },
 		Mispredicts:       func(int) bool { return c.rng.Bool(t.MispredictRate) },
 		FetchGate:         func(it int) int { return fetchGates[it] },
+		Audit:             c.aud,
+		AuditLabel:        c.audLabel,
 	}
 	res := c.eng.Run(req)
 	if c.tel != nil {

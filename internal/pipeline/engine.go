@@ -187,6 +187,9 @@ func (e *Engine) Run(req Request) Result {
 		probe = req.Iterations - span
 	}
 	e.extractProbe(probe*n, (probe+span)*n, &res)
+	if req.Audit != nil {
+		e.audit(&req, fd, &res)
+	}
 	return res
 }
 

@@ -22,6 +22,7 @@ package pipeline
 import (
 	"sort"
 
+	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/trace"
 )
@@ -72,6 +73,13 @@ type Request struct {
 	// FetchGate returns extra cycles gating the start of iteration i
 	// (instruction-cache or Schedule-Cache miss stalls). May be nil.
 	FetchGate func(iter int) int
+
+	// Audit, when non-nil, cross-checks the final schedule against the
+	// machine invariants after the run (audit.go, DESIGN.md §11); the
+	// default nil costs one comparison. AuditLabel locates violations
+	// (core label and benchmark).
+	Audit      *invariant.Auditor
+	AuditLabel string
 }
 
 // Result is the outcome of a simulation.

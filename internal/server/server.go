@@ -85,6 +85,10 @@ type Server struct {
 	slots  chan struct{}
 	queued chan struct{}
 
+	// drainCh is closed exactly once when Shutdown begins, so slot waiters
+	// blocked in admit observe the drain without polling the mutex.
+	drainCh chan struct{}
+
 	mu       sync.Mutex
 	draining bool
 	active   int
@@ -127,6 +131,7 @@ func New(cfg Config) *Server {
 		reg:     cfg.Telemetry.Reg(),
 		slots:   make(chan struct{}, cfg.MaxInFlight),
 		queued:  make(chan struct{}, cfg.MaxQueue),
+		drainCh: make(chan struct{}),
 	}
 	s.cache.AbandonGrace = cfg.AbandonGrace
 	s.mux = http.NewServeMux()
@@ -161,7 +166,10 @@ func (s *Server) ActiveRequests() int {
 // active). Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	s.draining = true
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
 	if s.active == 0 {
 		s.mu.Unlock()
 		return nil
@@ -221,12 +229,16 @@ func (s *Server) leave() {
 // slots and the wait queue are full, ctx.Err() when the flight is
 // abandoned while queued. Cache hits never reach admit — only the leader
 // of a new flight pays for a slot.
+//
+// The queued wait selects on drainCh too: checking the draining flag only
+// on entry left a TOCTOU hole where a request parked in the queue when
+// Shutdown began could still grab a freed slot and start a fresh
+// simulation mid-drain.
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
+	select {
+	case <-s.drainCh:
 		return nil, errDraining
+	default:
 	}
 	select {
 	case s.slots <- struct{}{}:
@@ -241,7 +253,17 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	}
 	select {
 	case s.slots <- struct{}{}:
+		// A drain may have begun while we waited; prefer rejecting over
+		// starting new work (the slot goes straight back).
+		select {
+		case <-s.drainCh:
+			<-s.slots
+			return nil, errDraining
+		default:
+		}
 		return func() { <-s.slots }, nil
+	case <-s.drainCh:
+		return nil, errDraining
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

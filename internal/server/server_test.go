@@ -529,6 +529,68 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestShutdownUnderLoadRejectsQueued is the drain-TOCTOU regression: a
+// request already parked in the admission queue when Shutdown begins must
+// NOT grab the slot freed by the draining leader and start a fresh
+// simulation — it gets the same 503 as a request arriving after the drain.
+func TestShutdownUnderLoadRejectsQueued(t *testing.T) {
+	release := make(chan struct{})
+	var runs atomic.Int64
+	srv := newTestServer(t, func(c *Config) {
+		c.MaxInFlight = 1
+		c.MaxQueue = 4
+		c.Backend = fakeBackend{run: func(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
+			runs.Add(1)
+			select {
+			case <-release:
+				return fakeMixResult(cfg), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}}
+	})
+	results := make(chan *httptest.ResponseRecorder, 2)
+	go func() { results <- postJSON(t, srv, "/v1/run", `{"mix": ["hmmer"], "seed": "leader"}`) }()
+	waitFor(t, "leader holds the slot", func() bool { return len(srv.slots) == 1 })
+	// A second, distinct job parks in the wait queue behind the leader.
+	go func() { results <- postJSON(t, srv, "/v1/run", `{"mix": ["hmmer"], "seed": "queued"}`) }()
+	waitFor(t, "second request queued", func() bool { return len(srv.queued) == 1 })
+
+	shut := make(chan error, 1)
+	go func() { shut <- srv.Shutdown(context.Background()) }()
+	waitFor(t, "draining", func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return srv.draining
+	})
+	// The leader finishes and frees its slot mid-drain. The queued waiter
+	// must observe the drain instead of claiming the slot.
+	close(release)
+	sawDraining := false
+	for i := 0; i < 2; i++ {
+		rec := <-results
+		switch rec.Code {
+		case 200:
+		case http.StatusServiceUnavailable:
+			sawDraining = true
+			if rec.Header().Get("Retry-After") == "" {
+				t.Error("drain 503 has no Retry-After header")
+			}
+		default:
+			t.Fatalf("request got %d, want 200 (leader) or 503 (queued)", rec.Code)
+		}
+	}
+	if !sawDraining {
+		t.Fatal("queued request was admitted mid-drain instead of rejected with 503")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("backend ran %d simulations, want 1 — drain admitted a new flight", got)
+	}
+	if err := <-shut; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
 // TestSingleflightConcurrent is the -race regression for the dedup path:
 // N identical concurrent requests must run ONE simulation and return
 // byte-identical bodies.
