@@ -1,0 +1,108 @@
+// Serving-path benchmark for the observability layer (DESIGN.md §12): the
+// same cache-hit request with everything off (no logger, no trace ring)
+// versus fully instrumented (JSON access log to a discard writer, span
+// timeline export, per-route histograms). The cache-hit path is the
+// worst case for relative overhead — there is no simulation to amortize
+// against — so the recorded fraction is an upper bound on what a real
+// workload pays.
+
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"log/slog"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// benchBackend answers instantly so the benchmark times the serving layers,
+// not a simulation.
+type benchBackend struct{}
+
+func (benchBackend) Run(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
+	return &core.MixResult{Config: cfg, STP: 1, Cluster: &cluster.Result{}}, nil
+}
+
+func (benchBackend) Reports(ctx context.Context, s experiments.Scale, ids []string) ([]*experiments.Report, error) {
+	out := make([]*experiments.Report, len(ids))
+	for i, id := range ids {
+		out[i] = &experiments.Report{ID: id, Table: stats.Table{Title: id}}
+	}
+	return out, nil
+}
+
+func benchServeHits(b *testing.B, cfg server.Config) {
+	b.Helper()
+	cfg.Backend = benchBackend{}
+	srv := server.New(cfg)
+	const body = `{"mix": ["bzip2"]}`
+	do := func() int {
+		req := httptest.NewRequest("POST", "/v1/run", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := do(); code != http.StatusOK {
+		b.Fatalf("warmup status = %d", code)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := do(); code != http.StatusOK {
+			b.Fatalf("status = %d", code)
+		}
+	}
+}
+
+// BenchmarkServerObservability measures the per-request cost of request
+// tracing plus access logging on the cache-hit serving path. When both
+// sub-benchmarks run, the pair and the relative overhead are written to
+// BENCH_observability.json for trajectory tracking; the acceptance bound for
+// the whole observability layer is <= 2% on the simulation benchmarks, which
+// this serving-only overhead feeds into.
+func BenchmarkServerObservability(b *testing.B) {
+	var offNs, onNs float64
+	b.Run("Off", func(b *testing.B) {
+		benchServeHits(b, server.Config{TraceEvents: -1})
+		offNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("On", func(b *testing.B) {
+		benchServeHits(b, server.Config{
+			Logger: slog.New(slog.NewJSONHandler(io.Discard, nil)),
+		})
+		onNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if offNs == 0 || onNs == 0 {
+		return // a sub-benchmark was filtered out; nothing to compare
+	}
+	overhead := onNs/offNs - 1
+	b.Logf("serving observability overhead: %.2f%% (off %.0f ns/op, on %.0f ns/op)",
+		overhead*100, offNs, onNs)
+	out := map[string]any{
+		"benchmark": "BenchmarkServerObservability",
+		"unit":      "ns/op",
+		"results": map[string]float64{
+			"ServeHitObservabilityOff": offNs,
+			"ServeHitObservabilityOn":  onNs,
+		},
+		"overhead_frac": overhead,
+	}
+	buf, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_observability.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -4,20 +4,30 @@
 //
 //	miraged [-addr :8080] [-max-inflight 2] [-queue 8] [-parallel 0]
 //	        [-timeout 60s] [-max-timeout 10m] [-drain-timeout 30s]
-//	        [-metrics-out m.json] [-pprof cpu.prof]
+//	        [-metrics-out m.json] [-pprof cpu.prof] [-pprof-http]
+//	        [-log-format json|text] [-log-level info]
 //
-// Endpoints (see DESIGN.md §10 and the README "Serving" section):
+// Endpoints (see DESIGN.md §10/§12 and the README "Operating miraged"
+// section):
 //
-//	POST /v1/run          one cluster simulation
-//	POST /v1/sweep        the Figure 7/8/9b arbitrator sweep
-//	GET  /v1/figures/{id} any registry experiment by ID or slug
-//	GET  /v1/healthz      liveness and drain state
-//	GET  /v1/metrics      telemetry counters as JSON
+//	POST /v1/run              one cluster simulation
+//	POST /v1/sweep            the Figure 7/8/9b arbitrator sweep
+//	GET  /v1/figures/{id}     any registry experiment by ID or slug
+//	GET  /v1/healthz          liveness, drain state, uptime
+//	GET  /v1/metrics          telemetry as JSON, or Prometheus text
+//	                          exposition with ?format=prometheus
+//	GET  /debug/statusz       live serving state (in-flight requests,
+//	                          cache hit ratio, build info)
+//	GET  /debug/requests/trace recent request span timelines as a Chrome
+//	                          trace (chrome://tracing, Perfetto)
+//	GET  /debug/pprof/        net/http/pprof (with -pprof-http)
 //
 // Identical concurrent requests share one simulation (singleflight) and
-// repeated ones are served from the response cache byte-identically. On
-// SIGINT/SIGTERM the server stops accepting simulation work (503), drains
-// in-flight requests up to -drain-timeout, then exits.
+// repeated ones are served from the response cache byte-identically. Every
+// request is logged as one structured line (request ID, route, status,
+// cache outcome, latency) on stderr. On SIGINT/SIGTERM the server stops
+// accepting simulation work (503), drains in-flight requests up to
+// -drain-timeout, then exits.
 package main
 
 import (
@@ -29,8 +39,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
+
+	"log/slog"
 
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -46,10 +59,17 @@ func main() {
 	parallel := flag.Int("parallel", 0, "per-simulation worker budget (0 = GOMAXPROCS); responses are bit-identical at any setting")
 	metricsOut := flag.String("metrics-out", "", "write telemetry counters as JSON to this file on exit")
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the serve loop to this file")
+	pprofHTTP := flag.Bool("pprof-http", false, "mount net/http/pprof under /debug/pprof/")
+	logFormat := flag.String("log-format", "json", "access/lifecycle log format: json or text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 
 	if *maxInFlight < 1 || *queue < 0 || *parallel < 0 {
 		fatalf("-max-inflight must be >= 1, -queue and -parallel >= 0")
+	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	tel := telemetry.New()
@@ -60,6 +80,8 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Parallel:       *parallel,
 		Telemetry:      tel,
+		Logger:         logger,
+		EnablePprof:    *pprofHTTP,
 	})
 
 	if *pprofOut != "" {
@@ -81,16 +103,17 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "miraged: serving on %s (inflight=%d queue=%d parallel=%d)\n",
-		*addr, *maxInFlight, *queue, *parallel)
+	logger.Info("serving", "addr", *addr, "inflight", *maxInFlight,
+		"queue", *queue, "parallel", *parallel)
 
 	select {
 	case err := <-errc:
-		fatalf("serve: %v", err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop()
-	fmt.Fprintf(os.Stderr, "miraged: draining (up to %s)\n", *drainTimeout)
+	logger.Info("draining", "drain_timeout", drainTimeout.String())
 
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -98,16 +121,36 @@ func main() {
 	// path, then close listeners and idle connections.
 	drainErr := srv.Shutdown(dctx)
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "miraged: http shutdown: %v\n", err)
+		logger.Error("http shutdown failed", "error", err)
 	}
 	if *metricsOut != "" {
 		if err := tel.WriteMetricsFile(*metricsOut); err != nil {
-			fmt.Fprintf(os.Stderr, "miraged: metrics: %v\n", err)
+			logger.Error("metrics export failed", "path", *metricsOut, "error", err)
 		}
 	}
 	if drainErr != nil {
-		fatalf("drain: %v", drainErr)
+		logger.Error("drain incomplete", "error", drainErr)
+		os.Exit(1)
 	}
+	logger.Info("exited cleanly")
+}
+
+// newLogger builds the process logger on stderr. JSON is the default so the
+// access log is machine-parseable (the CI serve-smoke job asserts every
+// stderr line parses); text is for humans at a terminal.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("invalid -log-format %q (want json or text)", format)
 }
 
 func fatalf(format string, args ...any) {

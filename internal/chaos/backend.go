@@ -111,6 +111,12 @@ func reportsKey(s experiments.Scale, ids []string) string {
 func (b *Backend) Run(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
 	key := runKey(cfg)
 	f := b.plan(key)
+	if f.Kind != KindNone {
+		// Make the injection observable: the flight's request trace gains a
+		// fault attribute (surfacing in access-log lines) and the registry
+		// carried by ctx counts server.chaos.faults.<kind>.
+		server.MarkFault(ctx, f.Kind.String())
+	}
 	switch f.Kind {
 	case KindLatency:
 		if err := delay(ctx, f); err != nil {
@@ -129,6 +135,9 @@ func (b *Backend) Run(ctx context.Context, cfg core.Config) (*core.MixResult, er
 func (b *Backend) Reports(ctx context.Context, s experiments.Scale, ids []string) ([]*experiments.Report, error) {
 	key := reportsKey(s, ids)
 	f := b.plan(key)
+	if f.Kind != KindNone {
+		server.MarkFault(ctx, f.Kind.String())
+	}
 	switch f.Kind {
 	case KindLatency:
 		if err := delay(ctx, f); err != nil {

@@ -41,6 +41,39 @@ type Cache[K comparable, V any] struct {
 	m  map[K]*flight[V]
 }
 
+// Outcome classifies how a DoContext call obtained its result — the cache
+// outcome the server's access log and singleflight counters are built on.
+type Outcome uint8
+
+const (
+	// OutcomeLeader: this caller started the flight and ran fn (a cache
+	// miss — it paid for the computation).
+	OutcomeLeader Outcome = iota
+	// OutcomeWaiter: this caller joined a flight started by an earlier,
+	// still-in-progress caller and shared its result.
+	OutcomeWaiter
+	// OutcomeHit: this caller was served from an already-settled entry
+	// without blocking.
+	OutcomeHit
+)
+
+// Shared reports whether the caller reused work started by another caller
+// (everything but the flight leader).
+func (o Outcome) Shared() bool { return o != OutcomeLeader }
+
+// String implements fmt.Stringer ("leader", "waiter", "hit").
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeLeader:
+		return "leader"
+	case OutcomeWaiter:
+		return "waiter"
+	case OutcomeHit:
+		return "hit"
+	}
+	return "outcome?"
+}
+
 // flight is one in-progress or settled computation.
 type flight[V any] struct {
 	done    chan struct{} // closed when v/err are settled
@@ -69,9 +102,11 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 // everyone. fn must honour fctx — it is cancelled only when every waiter
 // has abandoned the flight.
 //
-// shared reports whether this call attached to a flight started by an
-// earlier caller (or hit an already-settled entry) — the server's
-// singleflight hit counter is built on it.
+// out reports how the result was obtained: OutcomeLeader for the caller
+// that ran fn (a miss), OutcomeWaiter for callers that joined its
+// in-progress flight, OutcomeHit for callers served from a settled entry.
+// The server's singleflight hit counter and access-log cache field are
+// built on it (out.Shared() is the old boolean).
 //
 // When ctx ends before the flight settles, DoContext returns ctx's error.
 // If this caller was the flight's last waiter the flight is cancelled; the
@@ -79,7 +114,7 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 // partial-result error (wrapped alongside the context error) survives to
 // the caller. Flights that settle with an error caused by their own
 // cancellation, or wrapping ErrTransient, are evicted rather than cached.
-func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func(context.Context) (V, error)) (v V, shared bool, err error) {
+func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func(context.Context) (V, error)) (v V, out Outcome, err error) {
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[K]*flight[V])
@@ -88,11 +123,11 @@ func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func(context.Cont
 	if ok {
 		if f.settled {
 			c.mu.Unlock()
-			return f.v, true, f.err
+			return f.v, OutcomeHit, f.err
 		}
 		f.waiters++
 		c.mu.Unlock()
-		return c.wait(ctx, key, f, true)
+		return c.wait(ctx, key, f, OutcomeWaiter)
 	}
 
 	// Leader: start the flight. The flight context drops ctx's cancellation
@@ -120,18 +155,18 @@ func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func(context.Cont
 		cancel() // release the context's timer/goroutine resources
 		close(f.done)
 	}()
-	return c.wait(ctx, key, f, false)
+	return c.wait(ctx, key, f, OutcomeLeader)
 }
 
 // wait blocks until the flight settles or ctx ends, maintaining the waiter
 // count and triggering last-waiter-out cancellation.
-func (c *Cache[K, V]) wait(ctx context.Context, key K, f *flight[V], shared bool) (V, bool, error) {
+func (c *Cache[K, V]) wait(ctx context.Context, key K, f *flight[V], out Outcome) (V, Outcome, error) {
 	select {
 	case <-f.done:
 		c.mu.Lock()
 		f.waiters--
 		c.mu.Unlock()
-		return f.v, shared, f.err
+		return f.v, out, f.err
 	case <-ctx.Done():
 	}
 
@@ -146,7 +181,7 @@ func (c *Cache[K, V]) wait(ctx context.Context, key K, f *flight[V], shared bool
 		// Settled in the race between ctx.Done and acquiring the lock:
 		// the result is ready, deliver it.
 		c.mu.Unlock()
-		return f.v, shared, f.err
+		return f.v, out, f.err
 	}
 	last := f.waiters == 0
 	if last && c.m[key] == f {
@@ -164,21 +199,21 @@ func (c *Cache[K, V]) wait(ctx context.Context, key K, f *flight[V], shared bool
 			select {
 			case <-f.done:
 				if f.err == nil {
-					return f.v, shared, nil
+					return f.v, out, nil
 				}
 				// Join unless fn returned the literal context error — a
 				// richer error (e.g. *Canceled) must survive even though it
 				// wraps the same sentinel ctx.Err() reports.
 				if f.err != ctx.Err() {
 					var zero V
-					return zero, shared, errors.Join(ctx.Err(), f.err)
+					return zero, out, errors.Join(ctx.Err(), f.err)
 				}
 			case <-t.C:
 			}
 		}
 	}
 	var zero V
-	return zero, shared, ctx.Err()
+	return zero, out, ctx.Err()
 }
 
 // Len returns the number of cached keys (settled entries plus in-flight

@@ -95,12 +95,18 @@ func WithTelemetry(ctx context.Context, reg *telemetry.Registry) context.Context
 	return context.WithValue(ctx, telemetryKey{}, reg)
 }
 
-// registryFrom recovers the registry attached by WithTelemetry; a nil return
+// RegistryFrom recovers the registry attached by WithTelemetry; a nil return
 // is fine — nil registries hand out nil instruments whose methods are no-ops.
-func registryFrom(ctx context.Context) *telemetry.Registry {
+// Exported so layers wrapped around a flight (the chaos backend marking
+// injected faults, the server's span recorder) can count on the same
+// registry the request was admitted under.
+func RegistryFrom(ctx context.Context) *telemetry.Registry {
 	reg, _ := ctx.Value(telemetryKey{}).(*telemetry.Registry)
 	return reg
 }
+
+// registryFrom is the internal alias RegistryFrom grew out of.
+func registryFrom(ctx context.Context) *telemetry.Registry { return RegistryFrom(ctx) }
 
 // Run executes jobs on up to `workers` goroutines and returns their results
 // in submission order: results[i] is jobs[i]'s result regardless of which

@@ -322,19 +322,19 @@ func TestCacheErrorAndReset(t *testing.T) {
 }
 
 // TestCacheDoContextShared: concurrent DoContext callers share one flight;
-// exactly one reports shared=false (the leader) and the rest shared=true,
-// as do later callers hitting the settled entry.
+// exactly one reports OutcomeLeader, joiners report OutcomeWaiter, and
+// later callers hitting the settled entry report OutcomeHit.
 func TestCacheDoContextShared(t *testing.T) {
 	var c Cache[string, int]
 	const goroutines = 8
-	var computes, leaders atomic.Int64
+	var computes, leaders, hits atomic.Int64
 	gate := make(chan struct{})
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, shared, err := c.DoContext(context.Background(), "k", func(context.Context) (int, error) {
+			v, out, err := c.DoContext(context.Background(), "k", func(context.Context) (int, error) {
 				<-gate // park the leader so the others attach to its flight
 				computes.Add(1)
 				return 99, nil
@@ -342,14 +342,20 @@ func TestCacheDoContextShared(t *testing.T) {
 			if err != nil || v != 99 {
 				t.Errorf("(%d, %v)", v, err)
 			}
-			if !shared {
+			if out.Shared() != (out != OutcomeLeader) {
+				t.Errorf("outcome %v: Shared() inconsistent", out)
+			}
+			switch out {
+			case OutcomeLeader:
 				leaders.Add(1)
+			case OutcomeHit:
+				hits.Add(1)
 			}
 		}()
 	}
-	// Whether a goroutine joins the in-progress flight or arrives after it
-	// settles, it must report shared=true; only the flight creator reports
-	// shared=false, and fn runs exactly once either way.
+	// Whether a goroutine joins the in-progress flight (waiter) or arrives
+	// after it settles (hit), it reports a shared outcome; only the flight
+	// creator reports OutcomeLeader, and fn runs exactly once either way.
 	time.Sleep(10 * time.Millisecond)
 	close(gate)
 	wg.Wait()
@@ -357,12 +363,17 @@ func TestCacheDoContextShared(t *testing.T) {
 		t.Errorf("fn computed %d times, want 1", computes.Load())
 	}
 	if leaders.Load() != 1 {
-		t.Errorf("%d callers reported shared=false, want exactly 1", leaders.Load())
+		t.Errorf("%d callers reported OutcomeLeader, want exactly 1", leaders.Load())
 	}
-	// Settled entry: shared=true, no recompute.
-	v, shared, err := c.DoContext(context.Background(), "k", func(context.Context) (int, error) { return -1, nil })
-	if err != nil || v != 99 || !shared {
-		t.Errorf("settled hit: (%d, shared=%v, %v)", v, shared, err)
+	// Settled entry: OutcomeHit, no recompute.
+	v, out, err := c.DoContext(context.Background(), "k", func(context.Context) (int, error) { return -1, nil })
+	if err != nil || v != 99 || out != OutcomeHit {
+		t.Errorf("settled hit: (%d, outcome=%v, %v)", v, out, err)
+	}
+	for _, o := range []Outcome{OutcomeLeader, OutcomeWaiter, OutcomeHit, Outcome(99)} {
+		if o.String() == "" {
+			t.Errorf("outcome %d has empty String()", o)
+		}
 	}
 }
 
@@ -397,9 +408,9 @@ func TestCacheAbandonCancelsFlight(t *testing.T) {
 	if c.Len() != 0 {
 		t.Fatalf("abandoned flight still cached (%d keys)", c.Len())
 	}
-	v, shared, err := c.DoContext(context.Background(), "k", func(context.Context) (int, error) { return 7, nil })
-	if err != nil || v != 7 || shared {
-		t.Fatalf("post-abandon recompute: (%d, shared=%v, %v)", v, shared, err)
+	v, out, err := c.DoContext(context.Background(), "k", func(context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 || out != OutcomeLeader {
+		t.Fatalf("post-abandon recompute: (%d, outcome=%v, %v)", v, out, err)
 	}
 }
 

@@ -10,9 +10,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"log/slog"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -64,6 +69,15 @@ type Config struct {
 	// the flight to surface a partial-result error (default 40ms — the
 	// e2e contract returns within 100ms of cancellation).
 	AbandonGrace time.Duration
+	// Logger receives the structured JSON access log (one line per
+	// request) and server-side error events. nil disables logging.
+	Logger *slog.Logger
+	// TraceEvents bounds the ring buffer of recent request span timelines
+	// served at /debug/requests/trace (default 4096; negative disables
+	// trace retention entirely).
+	TraceEvents int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 // Server is the miraged HTTP API. Create with New; it implements
@@ -93,6 +107,23 @@ type Server struct {
 	draining bool
 	active   int
 	idle     chan struct{} // closed when draining and active hits 0
+
+	// Observability state (obs.go): the access logger, request sequence
+	// numbers, the bounded ring of recent span timelines, the in-flight
+	// request table behind /debug/statusz, and the per-key flight records
+	// linking waiters and cache hits back to the leader that computed
+	// their bytes.
+	logger  *slog.Logger
+	started time.Time
+	build   string
+	reqSeq  atomic.Int64
+	reqSink *telemetry.TraceSink
+
+	inflightMu sync.Mutex
+	inflight   map[int64]*reqTrace
+
+	flightsMu sync.Mutex
+	flights   map[string]*flightInfo
 }
 
 // New builds a Server from cfg, applying defaults for zero fields.
@@ -124,6 +155,9 @@ func New(cfg Config) *Server {
 	if cfg.AbandonGrace <= 0 {
 		cfg.AbandonGrace = 40 * time.Millisecond
 	}
+	if cfg.TraceEvents == 0 {
+		cfg.TraceEvents = 4096
+	}
 	s := &Server{
 		cfg:     cfg,
 		backend: cfg.Backend,
@@ -132,14 +166,29 @@ func New(cfg Config) *Server {
 		slots:   make(chan struct{}, cfg.MaxInFlight),
 		queued:  make(chan struct{}, cfg.MaxQueue),
 		drainCh: make(chan struct{}),
+		logger:  cfg.Logger,
+		started: time.Now(),
+		build:   buildString(),
+	}
+	if cfg.TraceEvents > 0 {
+		s.reqSink = telemetry.NewBoundedTraceSink(cfg.TraceEvents)
 	}
 	s.cache.AbandonGrace = cfg.AbandonGrace
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/run", s.track(s.handleRun))
-	s.mux.HandleFunc("POST /v1/sweep", s.track(s.handleSweep))
-	s.mux.HandleFunc("GET /v1/figures/{id}", s.track(s.handleFigure))
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/run", s.instrument("run", s.track(s.handleRun)))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.track(s.handleSweep)))
+	s.mux.HandleFunc("GET /v1/figures/{id}", s.instrument("figure", s.track(s.handleFigure)))
+	s.mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/statusz", s.instrument("statusz", s.handleStatusz))
+	s.mux.HandleFunc("GET /debug/requests/trace", s.instrument("reqtrace", s.handleRequestTrace))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -150,8 +199,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // tests asserting on counters).
 func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
 
-// ResetCache drops memoized response bodies (tests and memory bounding).
-func (s *Server) ResetCache() { s.cache.Reset() }
+// ResetCache drops memoized response bodies and the per-key flight records
+// that shadow them (tests and memory bounding).
+func (s *Server) ResetCache() {
+	s.cache.Reset()
+	s.flightsMu.Lock()
+	s.flights = nil
+	s.flightsMu.Unlock()
+}
 
 // ActiveRequests reports requests currently inside simulation handlers.
 func (s *Server) ActiveRequests() int {
@@ -277,18 +332,66 @@ func (s *Server) requestContext(r *http.Request, timeout time.Duration) (context
 	return context.WithTimeout(ctx, timeout)
 }
 
-// execute runs one deduplicated job: first caller per key leads a flight
-// (admission slot, then fn), everyone else shares it.
-func (s *Server) execute(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, bool, error) {
-	return s.cache.DoContext(ctx, key, func(fctx context.Context) ([]byte, error) {
-		release, err := s.admit(fctx)
-		if err != nil {
-			return nil, err
+// execute runs one deduplicated job: the first caller per key leads a
+// flight (admission slot, then fn), everyone else shares it. The returned
+// Outcome is what the access log and singleflight counters are built on;
+// execute also records the cache_lookup / singleflight_wait / admission
+// spans and links waiters and cache hits back to the leading request via
+// the per-key flightInfo.
+func (s *Server) execute(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, runner.Outcome, error) {
+	rt := traceFrom(ctx)
+	rt.setKey(key)
+	start := time.Now()
+	body, out, err := s.cache.DoContext(ctx, key, func(fctx context.Context) ([]byte, error) {
+		// Only the flight leader's fn runs, and fctx kept the leader's
+		// context values, so this trace is the leading request's: spans
+		// recorded here (admission wait) land on the leader's timeline
+		// even though they run on the flight goroutine.
+		lrt := traceFrom(fctx)
+		fi := s.flightFor(key)
+		fi.setLeader(lrt.requestID())
+		s.reg.Histogram("server.admit.queue_depth").Observe(int64(len(s.queued)))
+		admitStart := time.Now()
+		release, aerr := s.admit(fctx)
+		wait := time.Since(admitStart)
+		lrt.setQueueWait(wait)
+		lrt.addSpan("admission", admitStart, wait, nil)
+		s.reg.Histogram("server.admit.queue_wait_us").Observe(wait.Microseconds())
+		if aerr != nil {
+			return nil, aerr
 		}
 		defer release()
 		s.reg.Counter("server.jobs.executed").Inc()
-		return fn(fctx)
+		b, ferr := fn(fctx)
+		// Publish any injected fault before the flight settles (fn return
+		// happens-before the waiters' wakeup), so waiters and later cache
+		// hits can attribute it in their own log lines.
+		fi.setFault(lrt.faultKind())
+		return b, ferr
 	})
+	wait := time.Since(start)
+	switch out {
+	case runner.OutcomeLeader:
+		rt.setOutcome("miss", "leader", rt.requestID())
+		rt.addSpan("cache_lookup", start, 0, map[string]any{"outcome": "miss"})
+		rt.addSpan("singleflight_wait", start, wait, map[string]any{"role": "leader"})
+	case runner.OutcomeWaiter:
+		leader, fault := s.flightFor(key).get()
+		rt.setOutcome("miss", "waiter", leader)
+		if fault != "" {
+			rt.setFault(fault)
+		}
+		rt.addSpan("cache_lookup", start, 0, map[string]any{"outcome": "miss"})
+		rt.addSpan("singleflight_wait", start, wait, map[string]any{"role": "waiter", "leader": leader})
+	case runner.OutcomeHit:
+		leader, fault := s.flightFor(key).get()
+		rt.setOutcome("hit", "", leader)
+		if fault != "" {
+			rt.setFault(fault)
+		}
+		rt.addSpan("cache_lookup", start, wait, map[string]any{"outcome": "hit"})
+	}
+	return body, out, err
 }
 
 // scale resolves a request's scale name against the registered scales and
@@ -320,16 +423,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.invalid(w, aerr)
 		return
 	}
+	traceFrom(r.Context()).setDeadline(rj.timeout)
 	ctx, cancel := s.requestContext(r, rj.timeout)
 	defer cancel()
-	body, shared, err := s.execute(ctx, rj.key, func(fctx context.Context) ([]byte, error) {
-		mr, err := s.backend.Run(fctx, rj.cfg)
-		if err != nil {
+	body, out, err := s.execute(ctx, rj.key, func(fctx context.Context) ([]byte, error) {
+		var mr *core.MixResult
+		if err := withSpan(fctx, "simulate", func() (err error) {
+			mr, err = s.backend.Run(fctx, rj.cfg)
+			return err
+		}); err != nil {
 			return nil, err
 		}
-		return encodeRunResponse(rj, mr)
+		var body []byte
+		err := withSpan(fctx, "encode", func() (err error) {
+			body, err = encodeRunResponse(rj, mr)
+			return err
+		})
+		return body, err
 	})
-	s.finish(w, ctx, body, shared, err)
+	s.finish(w, ctx, body, out, err)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -343,20 +455,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.invalid(w, aerr)
 		return
 	}
+	traceFrom(r.Context()).setDeadline(j.timeout)
 	ctx, cancel := s.requestContext(r, j.timeout)
 	defer cancel()
-	body, shared, err := s.execute(ctx, j.key, func(fctx context.Context) ([]byte, error) {
-		reports, err := s.backend.Reports(fctx, sc, experiments.SweepIDs)
-		if err != nil {
+	body, out, err := s.execute(ctx, j.key, func(fctx context.Context) ([]byte, error) {
+		var reports []*experiments.Report
+		if err := withSpan(fctx, "simulate", func() (err error) {
+			reports, err = s.backend.Reports(fctx, sc, experiments.SweepIDs)
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		var buf bytes.Buffer
-		if err := experiments.WriteReportsJSON(&buf, reports); err != nil {
+		if err := withSpan(fctx, "encode", func() error {
+			return experiments.WriteReportsJSON(&buf, reports)
+		}); err != nil {
 			return nil, err
 		}
 		return buf.Bytes(), nil
 	})
-	s.finish(w, ctx, body, shared, err)
+	s.finish(w, ctx, body, out, err)
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
@@ -384,23 +502,30 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("figure|%s|scale=%s|insts=%d|interval=%d|mixes=%d|n=%v",
 		exp.Slug, sc.Name, sc.TargetInsts, sc.IntervalCycles, sc.MixesPerPoint, sc.NValues)
-	ctx, cancel := s.requestContext(r, s.timeout(timeoutMS))
+	timeout := s.timeout(timeoutMS)
+	traceFrom(r.Context()).setDeadline(timeout)
+	ctx, cancel := s.requestContext(r, timeout)
 	defer cancel()
-	body, shared, err := s.execute(ctx, key, func(fctx context.Context) ([]byte, error) {
-		reports, err := s.backend.Reports(fctx, sc, []string{exp.ID})
-		if err != nil {
+	body, out, err := s.execute(ctx, key, func(fctx context.Context) ([]byte, error) {
+		var reports []*experiments.Report
+		if err := withSpan(fctx, "simulate", func() (err error) {
+			reports, err = s.backend.Reports(fctx, sc, []string{exp.ID})
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		if len(reports) != 1 {
 			return nil, fmt.Errorf("experiment %s yielded %d reports", exp.ID, len(reports))
 		}
 		var buf bytes.Buffer
-		if err := reports[0].WriteJSON(&buf); err != nil {
+		if err := withSpan(fctx, "encode", func() error {
+			return reports[0].WriteJSON(&buf)
+		}); err != nil {
 			return nil, err
 		}
 		return buf.Bytes(), nil
 	})
-	s.finish(w, ctx, body, shared, err)
+	s.finish(w, ctx, body, out, err)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -409,17 +534,59 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		status = "draining"
 	}
-	active := s.active
+	draining, active := s.draining, s.active
 	s.mu.Unlock()
+	resp := struct {
+		Status         string  `json:"status"`
+		ActiveRequests int     `json:"active_requests"`
+		Draining       bool    `json:"draining"`
+		UptimeSeconds  float64 `json:"uptime_seconds"`
+	}{status, active, draining, time.Since(s.started).Seconds()}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\n \"status\": %q,\n \"active_requests\": %d\n}\n", status, active)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(resp)
 }
 
+// handleMetrics exports the telemetry snapshot: the native JSON dump by
+// default, Prometheus text exposition 0.0.4 when the request asks for it
+// (`?format=prometheus`, or an Accept header naming text/plain or
+// OpenMetrics). The body renders into a buffer first so a render failure
+// can still become a clean 500 and the Content-Type commits only once a
+// body exists; failures writing to the client are logged and counted, not
+// silently dropped.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.tel.WriteMetrics(w); err != nil {
-		// Headers are gone; nothing to do but note it.
+	prom := r.URL.Query().Get("format") == "prometheus"
+	if !prom {
+		if a := r.Header.Get("Accept"); strings.Contains(a, "text/plain") || strings.Contains(a, "openmetrics") {
+			prom = true
+		}
+	}
+	var buf bytes.Buffer
+	var err error
+	if prom {
+		err = s.tel.WritePrometheus(&buf)
+	} else {
+		err = s.tel.WriteMetrics(&buf)
+	}
+	if err != nil {
+		s.reg.Counter("server.metrics.render_errors").Inc()
+		if s.logger != nil {
+			s.logger.Error("metrics render failed", "error", err)
+		}
+		s.writeError(w, http.StatusInternalServerError, "metrics render failed", nil, 0, "")
+		return
+	}
+	if prom {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		s.reg.Counter("server.metrics.write_errors").Inc()
+		if s.logger != nil {
+			s.logger.Error("metrics write failed", "error", err)
+		}
 	}
 }
 
@@ -459,14 +626,17 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string, detai
 // finish maps an execute result onto the wire. The request context decides
 // between deadline (504) and client-gone (499); admission rejections map to
 // 429/503 with Retry-After; anything else a job produced is a 500.
-func (s *Server) finish(w http.ResponseWriter, ctx context.Context, body []byte, shared bool, err error) {
+func (s *Server) finish(w http.ResponseWriter, ctx context.Context, body []byte, out runner.Outcome, err error) {
 	if err == nil {
-		if shared {
+		if out.Shared() {
 			s.reg.Counter("server.singleflight.hits").Inc()
 		}
 		s.reg.Counter("server.requests.ok").Inc()
 		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(body)
+		_ = withSpan(ctx, "write", func() error {
+			_, werr := w.Write(body)
+			return werr
+		})
 		return
 	}
 	switch {

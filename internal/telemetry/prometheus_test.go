@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"server.requests.ok":    "server_requests_ok",
+		"already_legal:name":    "already_legal:name",
+		"9starts.with.digit":    "_9starts_with_digit",
+		"weird name/with-stuff": "weird_name_with_stuff",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// parseProm does a minimal exposition-format validation: every non-comment
+// line is "name{labels} value" or "name value", every series is declared by
+// a preceding # TYPE, and no (name, labels) pair repeats. Returns the
+// samples by full series identity.
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			if _, dup := typed[parts[2]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln+1, parts[2])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, ok := strings.CutSuffix(name, suf); ok && typed[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Errorf("line %d: series %q has no # TYPE declaration", ln+1, series)
+		}
+		if _, dup := samples[series]; dup {
+			t.Errorf("line %d: duplicate series %q", ln+1, series)
+		}
+		samples[series] = v
+	}
+	return samples
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.requests.ok").Add(7)
+	r.Gauge("server.requests.active").Set(2.5)
+	h := r.Histogram("server.latency.us")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	samples := parseProm(t, out)
+
+	if samples["server_requests_ok"] != 7 {
+		t.Errorf("counter sample = %v, want 7", samples["server_requests_ok"])
+	}
+	if samples["server_requests_active"] != 2.5 {
+		t.Errorf("gauge sample = %v, want 2.5", samples["server_requests_active"])
+	}
+	if !strings.Contains(out, "# TYPE server_requests_ok counter") {
+		t.Error("missing counter TYPE line")
+	}
+	if !strings.Contains(out, "# TYPE server_latency_us histogram") {
+		t.Error("missing histogram TYPE line")
+	}
+	// Buckets are cumulative: le=1 holds the single 1, le=4 adds the two 3s,
+	// +Inf equals the total count.
+	if got := samples[`server_latency_us_bucket{le="1"}`]; got != 1 {
+		t.Errorf("le=1 bucket = %v, want 1", got)
+	}
+	if got := samples[`server_latency_us_bucket{le="4"}`]; got != 3 {
+		t.Errorf("le=4 bucket = %v, want 3 (cumulative)", got)
+	}
+	if got := samples[`server_latency_us_bucket{le="+Inf"}`]; got != 4 {
+		t.Errorf("+Inf bucket = %v, want 4", got)
+	}
+	if samples["server_latency_us_sum"] != 107 || samples["server_latency_us_count"] != 4 {
+		t.Errorf("sum/count = %v/%v, want 107/4",
+			samples["server_latency_us_sum"], samples["server_latency_us_count"])
+	}
+
+	// Deterministic output across renders.
+	var buf2 bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("exposition output not deterministic")
+	}
+}
+
+func TestWritePrometheusCollision(t *testing.T) {
+	// Two registry names sanitizing to one metric name must not emit
+	// duplicate series (a protocol violation): the first in sorted order
+	// wins, the other is dropped.
+	r := NewRegistry()
+	r.Counter("a.b").Add(1)
+	r.Counter("a_b").Add(2)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, buf.String())
+	if samples["a_b"] != 1 {
+		t.Errorf("collision winner = %v, want 1 (sorted-first registry name)", samples["a_b"])
+	}
+	if strings.Count(buf.String(), "\na_b ") != 1 {
+		t.Errorf("collision emitted duplicate series:\n%s", buf.String())
+	}
+}
+
+func TestWritePrometheusNilAndEmpty(t *testing.T) {
+	var tel *Telemetry
+	var buf bytes.Buffer
+	if err := tel.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil telemetry: err=%v len=%d", err, buf.Len())
+	}
+	if err := (Snapshot{}).WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("empty snapshot: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestBoundedTraceSinkRing(t *testing.T) {
+	ts := NewBoundedTraceSink(4)
+	for i := 0; i < 6; i++ {
+		ts.Instant(fmt.Sprintf("e%d", i), "t", int64(i), 0, nil)
+	}
+	if ts.Len() != 4 {
+		t.Fatalf("len = %d, want 4", ts.Len())
+	}
+	evs := ts.Events()
+	want := []string{"e2", "e3", "e4", "e5"}
+	for i, ev := range evs {
+		if ev.Name != want[i] {
+			t.Errorf("event %d = %q, want %q (oldest-first ring order)", i, ev.Name, want[i])
+		}
+	}
+	// Below capacity the sink behaves like an unbounded one.
+	small := NewBoundedTraceSink(10)
+	small.Instant("only", "t", 1, 0, nil)
+	if small.Len() != 1 || small.Events()[0].Name != "only" {
+		t.Errorf("under-capacity sink misbehaved: %v", small.Events())
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	// A value sitting exactly on a power-of-two bucket boundary, alone in
+	// its bucket, is recovered exactly at every quantile.
+	for _, v := range []int64{1, 2, 8, 1024} {
+		var h Histogram
+		h.Observe(v)
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != float64(v) {
+				t.Errorf("single obs %d: Quantile(%v) = %v, want %d", v, q, got, v)
+			}
+		}
+	}
+	// A non-boundary value is estimated within its bucket.
+	var h Histogram
+	h.Observe(5) // bucket (4, 8]
+	got := h.Quantile(0.5)
+	if got <= 4 || got > 8 {
+		t.Errorf("single obs 5: Quantile(0.5) = %v, want in (4, 8]", got)
+	}
+}
+
+func TestQuantileNegativeAndZero(t *testing.T) {
+	// Negative and zero observations clamp into the [0, 1] bucket, so every
+	// quantile of an all-nonpositive distribution lands in [0, 1].
+	var h Histogram
+	h.Observe(-7)
+	h.Observe(0)
+	h.Observe(-1)
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if got < 0 || got > 1 {
+			t.Errorf("nonpositive obs: Quantile(%v) = %v, want in [0, 1]", q, got)
+		}
+	}
+	// Out-of-range and NaN q clamp rather than panic or go infinite.
+	h.Observe(100)
+	for _, q := range []float64{-0.5, 1.5, math.NaN()} {
+		got := h.Quantile(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Errorf("Quantile(%v) = %v, want finite and >= 0", q, got)
+		}
+	}
+}
+
+func TestQuantileBoundsOnUniform(t *testing.T) {
+	// 1..1000: the true q-quantile is the ceil(q*1000)-th smallest value,
+	// i.e. ceil(q*1000) itself. The estimate must land in the same
+	// power-of-two bucket, so it is within a factor of two of the truth.
+	var h Histogram
+	const n = 1000
+	for v := int64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+		truth := math.Ceil(q * n)
+		if truth < 1 {
+			truth = 1
+		}
+		got := s.Quantile(q)
+		if got < truth/2 || got > 2*truth {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v] (truth %v)",
+				q, got, truth/2, 2*truth, truth)
+		}
+	}
+	// p0 and p100 bracket the observed range (up to bucket resolution).
+	if p0 := s.Quantile(0); p0 < 0 || p0 > 2 {
+		t.Errorf("p0 = %v, want about the minimum 1", p0)
+	}
+	if p100 := s.Quantile(1); p100 < 512 || p100 > 1024 {
+		t.Errorf("p100 = %v, want in the maximum's bucket (512, 1024]", p100)
+	}
+	// Quantiles are monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := s.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %v after %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestQuantileExactOnBoundaryDistribution(t *testing.T) {
+	// 1, 2, 4, 8 each sit alone on a bucket boundary: interpolation recovers
+	// them exactly. target rank r maps to q in ((r-1)/4, r/4].
+	var h Histogram
+	for _, v := range []int64{1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 1}, {0.26, 2}, {0.5, 2}, {0.75, 4}, {0.99, 8}, {1, 8},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileConcurrentObserve(t *testing.T) {
+	// Quantile reads a snapshot while writers observe; the race detector
+	// (go test -race) asserts the synchronization, this test the bounds.
+	var h Histogram
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 1; i <= 5000; i++ {
+				h.Observe(int64(i % 1000))
+			}
+		}()
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if q := h.Quantile(0.99); math.IsNaN(q) || q < 0 || q > 1024 {
+				t.Errorf("concurrent Quantile(0.99) = %v out of range", q)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if h.Count() != 4*5000 {
+		t.Errorf("count = %d, want %d", h.Count(), 4*5000)
+	}
+	if q := h.Quantile(1); q < 512 || q > 1024 {
+		t.Errorf("final p100 = %v, want in (512, 1024]", q)
+	}
+}

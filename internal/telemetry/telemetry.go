@@ -141,8 +141,12 @@ type HistogramSnapshot struct {
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
-// snapshot captures the non-empty buckets.
-func (h *Histogram) snapshot() HistogramSnapshot {
+// Snapshot captures the non-empty buckets. Safe on a nil receiver (zero
+// snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
 	s := HistogramSnapshot{Count: h.n.Load(), Sum: h.sum.Load()}
 	for k := range h.counts {
 		if c := h.counts[k].Load(); c > 0 {
@@ -150,6 +154,58 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		}
 	}
 	return s
+}
+
+// bucketLo returns the exclusive lower bound of the bucket whose upper bound
+// is le: observations v in that bucket satisfy lo < v <= le (bucket le==1
+// covers [0, 1]).
+func bucketLo(le int64) float64 {
+	if le <= 1 {
+		return 0
+	}
+	return float64(le) / 2
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution from the snapshot's log-scale buckets: the estimate of the
+// ceil(q*count)-th smallest observation (the minimum for q = 0), produced by
+// linear interpolation within its bucket. The true order statistic is
+// guaranteed to lie in the same bucket, so the estimate is within a factor
+// of 2 of the exact value; observations that sit exactly on a power-of-two
+// bucket boundary are recovered exactly when alone in their bucket. An empty
+// snapshot yields 0; q outside [0, 1] is clamped. Every estimate is finite.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Rank of the target order statistic, 1-based. q=0 selects the first
+	// observation, q=1 the last.
+	target := math.Ceil(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		lo := bucketLo(b.Le)
+		prev := cum
+		cum += b.Count
+		if float64(cum) >= target {
+			frac := (target - float64(prev)) / float64(b.Count)
+			return lo + frac*(float64(b.Le)-lo)
+		}
+	}
+	return float64(s.Buckets[len(s.Buckets)-1].Le)
+}
+
+// Quantile estimates the q-quantile of the live histogram (see
+// HistogramSnapshot.Quantile). Safe on a nil receiver (0).
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
 }
 
 // Registry is a typed, named metric store. Component packages resolve their
@@ -268,7 +324,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
 		for n, h := range r.hists {
-			s.Histograms[n] = h.snapshot()
+			s.Histograms[n] = h.Snapshot()
 		}
 	}
 	return s

@@ -96,7 +96,7 @@ func TestHistogramBuckets(t *testing.T) {
 	h.Observe(3)
 	h.Observe(3)
 	h.Observe(1 << 60) // clamps into the last bucket
-	s := h.snapshot()
+	s := h.Snapshot()
 	if s.Count != 4 {
 		t.Errorf("count = %d", s.Count)
 	}

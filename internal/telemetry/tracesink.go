@@ -27,21 +27,44 @@ type TraceEvent struct {
 
 // TraceSink accumulates trace events. The zero value is ready to use; a nil
 // *TraceSink discards events, so emit sites need no enablement checks.
+//
+// A sink built with NewBoundedTraceSink keeps only the most recent cap
+// events in a ring buffer — the backing store for long-lived processes
+// (miraged's per-request span timeline) that must not grow without bound.
 type TraceSink struct {
 	mu     sync.Mutex
 	events []TraceEvent
+	// cap > 0 bounds the buffer: events is a ring of at most cap entries
+	// and head indexes the oldest one. cap == 0 grows unbounded.
+	cap  int
+	head int
 }
 
-// NewTraceSink returns an empty sink.
+// NewTraceSink returns an empty, unbounded sink.
 func NewTraceSink() *TraceSink { return &TraceSink{} }
 
-// Emit appends one event. Safe on a nil receiver (no-op).
+// NewBoundedTraceSink returns a sink retaining only the most recent cap
+// events (oldest evicted first). cap <= 0 yields an unbounded sink.
+func NewBoundedTraceSink(cap int) *TraceSink {
+	if cap < 0 {
+		cap = 0
+	}
+	return &TraceSink{cap: cap}
+}
+
+// Emit appends one event, evicting the oldest when a bounded sink is full.
+// Safe on a nil receiver (no-op).
 func (t *TraceSink) Emit(ev TraceEvent) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	if t.cap > 0 && len(t.events) == t.cap {
+		t.events[t.head] = ev
+		t.head = (t.head + 1) % t.cap
+	} else {
+		t.events = append(t.events, ev)
+	}
 	t.mu.Unlock()
 }
 
@@ -94,7 +117,8 @@ func (t *TraceSink) Len() int {
 	return len(t.events)
 }
 
-// Events returns a copy of the buffered events (nil for a nil receiver).
+// Events returns a copy of the buffered events, oldest first (nil for a nil
+// receiver).
 func (t *TraceSink) Events() []TraceEvent {
 	if t == nil {
 		return nil
@@ -102,7 +126,8 @@ func (t *TraceSink) Events() []TraceEvent {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]TraceEvent, len(t.events))
-	copy(out, t.events)
+	n := copy(out, t.events[t.head:])
+	copy(out[n:], t.events[:t.head])
 	return out
 }
 

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Serve smoke: boot miraged, drive one real request through it, then assert
+# the observability surfaces hold their contracts —
+#   * every stderr line is valid JSON (the structured access/lifecycle log),
+#   * the /v1/run response carries an X-Request-ID and the access log has a
+#     matching cache=miss leader line,
+#   * /v1/metrics?format=prometheus parses as text exposition 0.0.4 with
+#     well-formed `# TYPE` lines and no duplicate series,
+#   * /debug/requests/trace is a Chrome-trace JSON array with simulate spans,
+#   * /debug/statusz renders.
+# CI runs this in the serve-smoke job and uploads serve.log/metrics.prom on
+# failure; it is equally runnable locally: ./scripts/serve_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+LOG="serve.log"
+
+echo "== build"
+go build -o miraged-smoke ./cmd/miraged
+
+cleanup() {
+  if [ -n "${SRV_PID:-}" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+  fi
+  rm -f miraged-smoke
+}
+trap cleanup EXIT
+
+echo "== start miraged on $ADDR"
+./miraged-smoke -addr "$ADDR" -log-format json 2>"$LOG" &
+SRV_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/v1/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SRV_PID" 2>/dev/null; then
+    echo "miraged exited during startup:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -sf "$BASE/v1/healthz" >/dev/null || { echo "healthz never came up" >&2; cat "$LOG" >&2; exit 1; }
+
+echo "== drive one /v1/run"
+RUN_HEADERS="$(mktemp)"
+curl -sf -D "$RUN_HEADERS" -o run.json \
+  -H 'Content-Type: application/json' \
+  -H 'X-Request-ID: smoke-run-1' \
+  -d '{"mix": ["bzip2"], "target_insts": 50000, "interval_cycles": 5000}' \
+  "$BASE/v1/run"
+grep -qi '^X-Request-ID: smoke-run-1' "$RUN_HEADERS" || {
+  echo "response did not echo X-Request-ID:" >&2; cat "$RUN_HEADERS" >&2; exit 1
+}
+rm -f "$RUN_HEADERS" run.json
+
+echo "== scrape surfaces"
+curl -sf "$BASE/v1/metrics?format=prometheus" -o metrics.prom
+curl -sf "$BASE/debug/statusz" | grep -q "active_requests:" || { echo "statusz malformed" >&2; exit 1; }
+curl -sf "$BASE/debug/requests/trace" -o trace.json
+
+echo "== stop miraged"
+kill "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+unset SRV_PID
+
+echo "== validate"
+python3 - <<'PY'
+import json, re, sys
+
+# 1. Every log line is valid JSON; the smoke request shows up as a leader miss.
+saw_run = False
+with open("serve.log") as f:
+    for n, line in enumerate(f, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"serve.log:{n} is not JSON: {line!r} ({e})")
+        if rec.get("msg") == "request" and rec.get("request_id") == "smoke-run-1":
+            saw_run = True
+            for field, want in [("route", "run"), ("cache", "miss"), ("role", "leader"), ("status", 200)]:
+                if rec.get(field) != want:
+                    sys.exit(f"access log line {field}={rec.get(field)!r}, want {want!r}: {rec}")
+if not saw_run:
+    sys.exit("no access-log line for smoke-run-1")
+
+# 2. Prometheus exposition: well-formed TYPE lines, every sample declared,
+#    no duplicate (name, labels) series, finite values.
+name_re = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+typed, series = {}, set()
+with open("metrics.prom") as f:
+    for n, line in enumerate(f, 1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or not name_re.match(parts[2]) or parts[3] not in ("counter", "gauge", "histogram"):
+                sys.exit(f"metrics.prom:{n} malformed TYPE line: {line!r}")
+            if parts[2] in typed:
+                sys.exit(f"metrics.prom:{n} duplicate TYPE for {parts[2]}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', line)
+        if not m:
+            sys.exit(f"metrics.prom:{n} malformed sample: {line!r}")
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        float(value)  # must parse
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and typed.get(name[: -len(suffix)]) == "histogram":
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            sys.exit(f"metrics.prom:{n} sample {name} has no TYPE declaration")
+        if (name, labels) in series:
+            sys.exit(f"metrics.prom:{n} duplicate series {name}{labels}")
+        series.add((name, labels))
+needed = ["server_requests", "server_requests_ok", "server_http_latency_us_run"]
+for want in needed:
+    if want not in typed:
+        sys.exit(f"metrics.prom missing expected metric {want} (have {sorted(typed)[:20]}...)")
+
+# 3. The trace export is a Chrome-trace array containing the run's spans.
+with open("trace.json") as f:
+    events = json.load(f)
+if not isinstance(events, list) or not events:
+    sys.exit("trace.json is not a non-empty JSON array")
+names = {ev.get("name") for ev in events if isinstance(ev, dict)
+         and isinstance(ev.get("args"), dict) and ev["args"].get("request_id") == "smoke-run-1"}
+for want in ("request", "admission", "simulate", "encode"):
+    if want not in names:
+        sys.exit(f"trace.json missing span {want!r} for smoke-run-1 (have {sorted(n for n in names if n)})")
+
+print("serve smoke OK:", len(series), "series,", len(events), "trace events")
+PY
+
+rm -f metrics.prom trace.json serve.log
+echo "== serve smoke passed"
