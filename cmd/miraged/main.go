@@ -4,6 +4,8 @@
 //
 //	miraged [-addr :8080] [-max-inflight 2] [-queue 8] [-parallel 0]
 //	        [-timeout 60s] [-max-timeout 10m] [-drain-timeout 30s]
+//	        [-store-dir DIR] [-store-max-bytes N]
+//	        [-cache-entries 4096] [-cache-bytes N]
 //	        [-metrics-out m.json] [-pprof cpu.prof] [-pprof-http]
 //	        [-log-format json|text] [-log-level info]
 //
@@ -23,7 +25,11 @@
 //	GET  /debug/pprof/        net/http/pprof (with -pprof-http)
 //
 // Identical concurrent requests share one simulation (singleflight) and
-// repeated ones are served from the response cache byte-identically. Every
+// repeated ones are served from the response cache byte-identically. With
+// -store-dir set, response bytes also persist to a checksummed append-only
+// log so a restarted server answers repeat requests from disk (X-Cache:
+// disk) without resimulating; corrupt or torn log records are dropped on
+// open, never served. Every
 // request is logged as one structured line (request ID, route, status,
 // cache outcome, latency) on stderr. On SIGINT/SIGTERM the server stops
 // accepting simulation work (503), drains in-flight requests up to
@@ -46,6 +52,7 @@ import (
 	"log/slog"
 
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -62,6 +69,10 @@ func main() {
 	pprofHTTP := flag.Bool("pprof-http", false, "mount net/http/pprof under /debug/pprof/")
 	logFormat := flag.String("log-format", "json", "access/lifecycle log format: json or text")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	storeDir := flag.String("store-dir", "", "directory for the persistent result store (empty = no disk tier; results then live only in memory)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "size cap on the result store log; overflow evicts least-recently-used entries")
+	cacheEntries := flag.Int("cache-entries", 4096, "max entries in the in-memory response cache (-1 = unlimited)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "max bytes of response bodies held in memory (-1 = unlimited)")
 	flag.Parse()
 
 	if *maxInFlight < 1 || *queue < 0 || *parallel < 0 {
@@ -73,15 +84,33 @@ func main() {
 	}
 
 	tel := telemetry.New()
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{
+			MaxBytes: *storeMaxBytes,
+			Registry: tel.Reg(),
+		})
+		if err != nil {
+			fatalf("opening result store: %v", err)
+		}
+		defer st.Close()
+		logger.Info("result store open", "dir", *storeDir,
+			"entries", st.Len(), "log_bytes", st.LogBytes(),
+			"recovered", st.Stats().Recovered)
+	}
 	srv := server.New(server.Config{
-		MaxInFlight:    *maxInFlight,
-		MaxQueue:       *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Parallel:       *parallel,
-		Telemetry:      tel,
-		Logger:         logger,
-		EnablePprof:    *pprofHTTP,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *queue,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		Parallel:        *parallel,
+		Telemetry:       tel,
+		Logger:          logger,
+		EnablePprof:     *pprofHTTP,
+		Store:           st,
+		CacheMaxEntries: *cacheEntries,
+		CacheMaxBytes:   *cacheBytes,
 	})
 
 	if *pprofOut != "" {

@@ -1,0 +1,294 @@
+// Command mirageload drives a running miraged with deterministic synthetic
+// traffic and asserts serving SLOs.
+//
+// Usage:
+//
+//	mirageload [-target http://127.0.0.1:8080] [-seed load] [-requests 400]
+//	           [-rate 200] [-concurrency 16] [-keys 24] [-zipf 1.1]
+//	           [-p-burst 0.05] [-burst-len 6] [-p-sweep 0.1]
+//	           [-slo-p50-ms 500] [-slo-p99-ms 5000]
+//	           [-slo-max-error-rate 0.01] [-slo-min-hit-ratio 0.5]
+//	           [-out BENCH_serving.json]
+//
+// The schedule (key popularity, arrival times, deadlines, route mix)
+// derives entirely from -seed: a failing run replays exactly. Results land
+// in a machine-readable report (-out) with one entry per SLO check; the
+// process exits 1 when any check fails and 2 on operational errors, so CI
+// can gate on it directly. See DESIGN.md §13.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// result is one completed request.
+type result struct {
+	status  int // 0 on transport error
+	cache   string
+	latency time.Duration
+	err     error
+}
+
+// sloCheck is one verdict in the report.
+type sloCheck struct {
+	Name      string  `json:"name"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Pass      bool    `json:"pass"`
+}
+
+// report is the BENCH_serving.json schema.
+type report struct {
+	Config      trafficConfig      `json:"config"`
+	Target      string             `json:"target"`
+	Concurrency int                `json:"concurrency"`
+	ElapsedS    float64            `json:"elapsed_s"`
+	AchievedRPS float64            `json:"achieved_rps"`
+	Requests    int                `json:"requests"`
+	OK          int                `json:"ok"`
+	ByStatus    map[string]int     `json:"by_status"`
+	ByCache     map[string]int     `json:"by_cache"`
+	HitRatio    float64            `json:"hit_ratio"`
+	ErrorRate   float64            `json:"error_rate"`
+	LatencyMS   map[string]float64 `json:"latency_ms"`
+	SLO         struct {
+		Checks []sloCheck `json:"checks"`
+		Pass   bool       `json:"pass"`
+	} `json:"slo"`
+}
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8080", "base URL of the miraged under test")
+	seed := flag.String("seed", "load", "deterministic traffic seed; identical seeds replay identical schedules")
+	requests := flag.Int("requests", 400, "total requests to send")
+	rate := flag.Float64("rate", 200, "target arrival rate (requests/second, Poisson)")
+	concurrency := flag.Int("concurrency", 16, "max in-flight client requests")
+	keys := flag.Int("keys", 24, "distinct job-key universe size")
+	zipf := flag.Float64("zipf", 1.1, "zipfian skew of key popularity")
+	pBurst := flag.Float64("p-burst", 0.05, "per-arrival probability of a zero-gap burst")
+	burstLen := flag.Int("burst-len", 6, "requests per burst")
+	pSweep := flag.Float64("p-sweep", 0.1, "probability a request targets /v1/sweep")
+	pTight := flag.Float64("p-tight", 0.1, "probability of a tight deadline budget")
+	tightMS := flag.Int64("tight-timeout-ms", 2000, "the tight timeout_ms budget")
+	timeoutMS := flag.Int64("timeout-ms", 30000, "the patient timeout_ms budget")
+	targetInsts := flag.Int64("target-insts", 60_000, "per-simulation instruction budget (keeps jobs small)")
+	sweepScale := flag.String("sweep-scale", "tiny", "scale for /v1/sweep requests")
+	sloP50 := flag.Float64("slo-p50-ms", 500, "SLO: p50 latency ceiling (ms)")
+	sloP99 := flag.Float64("slo-p99-ms", 5000, "SLO: p99 latency ceiling (ms)")
+	sloErr := flag.Float64("slo-max-error-rate", 0.01, "SLO: ceiling on the non-200 fraction")
+	sloHit := flag.Float64("slo-min-hit-ratio", 0.5, "SLO: floor on the (hit+disk)/ok cache ratio")
+	out := flag.String("out", "BENCH_serving.json", "report path ('' = stdout only)")
+	flag.Parse()
+
+	cfg := trafficConfig{
+		Seed:           *seed,
+		Requests:       *requests,
+		RatePerS:       *rate,
+		Keys:           *keys,
+		ZipfS:          *zipf,
+		PBurst:         *pBurst,
+		BurstLen:       *burstLen,
+		PSweep:         *pSweep,
+		PTightDeadline: *pTight,
+		TightTimeoutMS: *tightMS,
+		TimeoutMS:      *timeoutMS,
+		TargetInsts:    *targetInsts,
+		SweepScale:     *sweepScale,
+	}
+	schedule, err := plan(cfg)
+	if err != nil {
+		fatalf("planning traffic: %v", err)
+	}
+	if *concurrency < 1 {
+		fatalf("-concurrency must be >= 1")
+	}
+
+	results, elapsed := drive(*target, schedule, *concurrency)
+
+	rep := summarize(cfg, *target, *concurrency, results, elapsed)
+	rep.SLO.Checks = []sloCheck{
+		{Name: "p50_ms", Value: rep.LatencyMS["p50"], Threshold: *sloP50, Pass: rep.LatencyMS["p50"] <= *sloP50},
+		{Name: "p99_ms", Value: rep.LatencyMS["p99"], Threshold: *sloP99, Pass: rep.LatencyMS["p99"] <= *sloP99},
+		{Name: "error_rate", Value: rep.ErrorRate, Threshold: *sloErr, Pass: rep.ErrorRate <= *sloErr},
+		{Name: "hit_ratio", Value: rep.HitRatio, Threshold: *sloHit, Pass: rep.HitRatio >= *sloHit},
+	}
+	rep.SLO.Pass = true
+	for _, c := range rep.SLO.Checks {
+		if !c.Pass {
+			rep.SLO.Pass = false
+		}
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rep); err != nil {
+		fatalf("encoding report: %v", err)
+	}
+	os.Stdout.Write(buf.Bytes())
+	if *out != "" {
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			fatalf("writing %s: %v", *out, err)
+		}
+	}
+	if !rep.SLO.Pass {
+		for _, c := range rep.SLO.Checks {
+			if !c.Pass {
+				fmt.Fprintf(os.Stderr, "mirageload: SLO breach: %s = %.3f (threshold %.3f)\n",
+					c.Name, c.Value, c.Threshold)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+// drive replays the schedule against target: a dispatcher paces arrivals on
+// the planned clock while workers bound in-flight concurrency (arrivals
+// past the bound queue, as they would at a saturated client).
+func drive(target string, schedule []request, concurrency int) ([]result, time.Duration) {
+	client := &http.Client{}
+	jobs := make(chan int)
+	results := make([]result, len(schedule))
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = send(client, target, schedule[i])
+			}
+		}()
+	}
+	start := time.Now()
+	for i, rq := range schedule {
+		if d := rq.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, time.Since(start)
+}
+
+// send issues one planned request and classifies the outcome.
+func send(client *http.Client, target string, rq request) result {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", target+rq.Path, bytes.NewReader(rq.Body))
+	if err != nil {
+		return result{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	begin := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(begin)
+	if err != nil {
+		return result{latency: lat, err: err}
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reusable; the body bytes themselves are
+	// the server's business (byte-identity is the e2e suite's job).
+	var n int64
+	buf := make([]byte, 32<<10)
+	for {
+		m, rerr := resp.Body.Read(buf)
+		n += int64(m)
+		if rerr != nil {
+			break
+		}
+	}
+	return result{status: resp.StatusCode, cache: resp.Header.Get("X-Cache"), latency: lat}
+}
+
+// summarize folds raw results into the report body (SLO checks attach in
+// main, where the thresholds live).
+func summarize(cfg trafficConfig, target string, concurrency int, results []result, elapsed time.Duration) *report {
+	rep := &report{
+		Config:      cfg,
+		Target:      target,
+		Concurrency: concurrency,
+		ElapsedS:    elapsed.Seconds(),
+		Requests:    len(results),
+		ByStatus:    map[string]int{},
+		ByCache:     map[string]int{},
+		LatencyMS:   map[string]float64{},
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(len(results)) / elapsed.Seconds()
+	}
+	lats := make([]float64, 0, len(results))
+	cached := 0
+	for _, r := range results {
+		if r.err != nil {
+			rep.ByStatus["transport_error"]++
+			continue
+		}
+		rep.ByStatus[strconv.Itoa(r.status)]++
+		if r.status != http.StatusOK {
+			continue
+		}
+		rep.OK++
+		lats = append(lats, float64(r.latency.Microseconds())/1000)
+		c := r.cache
+		if c == "" {
+			c = "none"
+		}
+		rep.ByCache[c]++
+		if c == "hit" || c == "disk" {
+			cached++
+		}
+	}
+	if len(results) > 0 {
+		rep.ErrorRate = float64(len(results)-rep.OK) / float64(len(results))
+	}
+	if rep.OK > 0 {
+		rep.HitRatio = float64(cached) / float64(rep.OK)
+	}
+	sort.Float64s(lats)
+	mean := 0.0
+	for _, l := range lats {
+		mean += l
+	}
+	if len(lats) > 0 {
+		mean /= float64(len(lats))
+		rep.LatencyMS["mean"] = round3(mean)
+		rep.LatencyMS["p50"] = round3(percentile(lats, 0.50))
+		rep.LatencyMS["p90"] = round3(percentile(lats, 0.90))
+		rep.LatencyMS["p99"] = round3(percentile(lats, 0.99))
+		rep.LatencyMS["max"] = round3(lats[len(lats)-1])
+	}
+	return rep
+}
+
+// percentile reads the exact p-quantile from sorted samples (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mirageload: "+format+"\n", args...)
+	os.Exit(2)
+}

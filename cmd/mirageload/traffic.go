@@ -1,0 +1,158 @@
+// Deterministic traffic synthesis for mirageload: the whole request
+// schedule derives from one seed, so a failing SLO run can be replayed
+// exactly. The model mirrors production serving traffic:
+//
+//   - a zipfian key popularity curve (a few hot job keys dominate, with a
+//     long tail of one-offs) — this is what makes the response cache and
+//     the persistent store earn their hit-ratio SLO;
+//   - Poisson arrivals (exponential inter-arrival gaps at a target rate)
+//     punctuated by bursts, which exercise admission control and
+//     singleflight collapsing;
+//   - a deadline spread: most requests are patient, a slice carries tight
+//     timeout_ms budgets, so deadline handling stays on the hot path;
+//   - a mixed route population: mostly /v1/run with a minority of
+//     /v1/sweep, whose single per-scale key caches immediately.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/program"
+	"repro/internal/xrand"
+)
+
+// trafficConfig parameterizes plan generation. All fields are required;
+// main fills them from flags.
+type trafficConfig struct {
+	Seed     string  `json:"seed"`
+	Requests int     `json:"requests"`
+	RatePerS float64 `json:"rate_per_s"`
+	// Keys is the size of the distinct-job universe; ZipfS its skew
+	// (weight of the r-th most popular key ∝ 1/r^ZipfS).
+	Keys  int     `json:"keys"`
+	ZipfS float64 `json:"zipf_s"`
+	// PBurst is the per-arrival probability of opening a burst of
+	// BurstLen back-to-back requests with zero inter-arrival gap.
+	PBurst   float64 `json:"p_burst"`
+	BurstLen int     `json:"burst_len"`
+	// PSweep is the probability a request targets /v1/sweep.
+	PSweep float64 `json:"p_sweep"`
+	// PTightDeadline is the probability a request carries the tight
+	// timeout budget instead of the patient one.
+	PTightDeadline float64 `json:"p_tight_deadline"`
+	TightTimeoutMS int64   `json:"tight_timeout_ms"`
+	TimeoutMS      int64   `json:"timeout_ms"`
+	// TargetInsts bounds per-simulation work so a load test measures the
+	// serving layer, not simulator throughput.
+	TargetInsts int64 `json:"target_insts"`
+	// SweepScale names the scale for /v1/sweep requests.
+	SweepScale string `json:"sweep_scale"`
+}
+
+// request is one planned arrival.
+type request struct {
+	// At is the offset from test start at which the request fires.
+	At time.Duration
+	// Path is the route; Body the JSON payload.
+	Path string
+	Body []byte
+	// Key identifies the logical job for hit-ratio accounting (distinct
+	// Key count ≤ trafficConfig.Keys + 1).
+	Key string
+	// Tight marks a request carrying the tight deadline budget.
+	Tight bool
+}
+
+// runTemplate is one member of the zipfian key universe.
+type runTemplate struct {
+	mix  []string
+	seed string
+}
+
+// plan expands cfg into the full deterministic schedule, sorted by arrival
+// offset.
+func plan(cfg trafficConfig) ([]request, error) {
+	if cfg.Requests <= 0 || cfg.Keys <= 0 || cfg.RatePerS <= 0 {
+		return nil, fmt.Errorf("requests, keys and rate must be positive")
+	}
+	if cfg.BurstLen < 2 {
+		cfg.BurstLen = 2
+	}
+	names := program.Names()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty benchmark registry")
+	}
+
+	tmplRng := xrand.NewString("mirageload|templates|" + cfg.Seed)
+	templates := make([]runTemplate, cfg.Keys)
+	for i := range templates {
+		n := 1 + tmplRng.Intn(3)
+		mix := make([]string, n)
+		for j := range mix {
+			mix[j] = names[tmplRng.Intn(len(names))]
+		}
+		templates[i] = runTemplate{mix: mix, seed: fmt.Sprintf("load-%s-%d", cfg.Seed, i)}
+	}
+	weights := make([]float64, cfg.Keys)
+	for r := range weights {
+		weights[r] = 1 / math.Pow(float64(r+1), cfg.ZipfS)
+	}
+
+	arrRng := xrand.NewString("mirageload|arrivals|" + cfg.Seed)
+	pickRng := xrand.NewString("mirageload|keys|" + cfg.Seed)
+	reqs := make([]request, 0, cfg.Requests)
+	var at time.Duration
+	burst := 0
+	for len(reqs) < cfg.Requests {
+		if burst > 0 {
+			burst--
+		} else {
+			// Exponential inter-arrival gap at the target rate; 1-U keeps
+			// the argument of log strictly positive.
+			gap := -math.Log(1-arrRng.Float64()) / cfg.RatePerS
+			at += time.Duration(gap * float64(time.Second))
+			if arrRng.Bool(cfg.PBurst) {
+				burst = cfg.BurstLen - 1
+			}
+		}
+		timeoutMS := cfg.TimeoutMS
+		tight := pickRng.Bool(cfg.PTightDeadline)
+		if tight {
+			timeoutMS = cfg.TightTimeoutMS
+		}
+		if pickRng.Bool(cfg.PSweep) {
+			body, err := json.Marshal(map[string]any{
+				"scale":      cfg.SweepScale,
+				"timeout_ms": timeoutMS,
+			})
+			if err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, request{
+				At: at, Path: "/v1/sweep", Body: body,
+				Key: "sweep|" + cfg.SweepScale, Tight: tight,
+			})
+			continue
+		}
+		tm := templates[pickRng.Pick(weights)]
+		body, err := json.Marshal(map[string]any{
+			"mix":          tm.mix,
+			"seed":         tm.seed,
+			"target_insts": cfg.TargetInsts,
+			"timeout_ms":   timeoutMS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, request{
+			At: at, Path: "/v1/run", Body: body,
+			Key: "run|" + tm.seed, Tight: tight,
+		})
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].At < reqs[j].At })
+	return reqs, nil
+}

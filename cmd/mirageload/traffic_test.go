@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testConfig(seed string) trafficConfig {
+	return trafficConfig{
+		Seed:           seed,
+		Requests:       600,
+		RatePerS:       500,
+		Keys:           16,
+		ZipfS:          1.1,
+		PBurst:         0.05,
+		BurstLen:       6,
+		PSweep:         0.1,
+		PTightDeadline: 0.1,
+		TightTimeoutMS: 2000,
+		TimeoutMS:      30000,
+		TargetInsts:    60_000,
+		SweepScale:     "quick",
+	}
+}
+
+// TestPlanDeterministic: the same seed yields the byte-identical schedule;
+// a different seed diverges.
+func TestPlanDeterministic(t *testing.T) {
+	a, err := plan(testConfig("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plan(testConfig("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Path != b[i].Path || !bytes.Equal(a[i].Body, b[i].Body) {
+			t.Fatalf("request %d diverges across identical seeds:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	c, err := plan(testConfig("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].At != c[i].At || !bytes.Equal(a[i].Body, c[i].Body) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds alpha and beta produced identical schedules")
+	}
+}
+
+// TestPlanShape: arrivals are nondecreasing, bodies are valid JSON for
+// their route, the key universe is bounded, and both routes appear.
+func TestPlanShape(t *testing.T) {
+	cfg := testConfig("shape")
+	reqs, err := plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != cfg.Requests {
+		t.Fatalf("planned %d requests, want %d", len(reqs), cfg.Requests)
+	}
+	keys := map[string]int{}
+	routes := map[string]int{}
+	tight := 0
+	for i, rq := range reqs {
+		if i > 0 && rq.At < reqs[i-1].At {
+			t.Fatalf("arrival %d precedes %d (%v < %v)", i, i-1, rq.At, reqs[i-1].At)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(rq.Body, &m); err != nil {
+			t.Fatalf("request %d body is not JSON: %v", i, err)
+		}
+		switch rq.Path {
+		case "/v1/run":
+			if _, ok := m["mix"].([]any); !ok {
+				t.Fatalf("run body %d lacks a mix: %s", i, rq.Body)
+			}
+		case "/v1/sweep":
+			if m["scale"] != cfg.SweepScale {
+				t.Fatalf("sweep body %d scale = %v", i, m["scale"])
+			}
+		default:
+			t.Fatalf("request %d has unknown path %q", i, rq.Path)
+		}
+		keys[rq.Key]++
+		routes[rq.Path]++
+		if rq.Tight {
+			tight++
+			if m["timeout_ms"] != float64(cfg.TightTimeoutMS) {
+				t.Fatalf("tight request %d carries timeout %v", i, m["timeout_ms"])
+			}
+		}
+	}
+	if len(keys) > cfg.Keys+1 {
+		t.Fatalf("schedule spans %d distinct keys, cap is %d run keys + 1 sweep", len(keys), cfg.Keys)
+	}
+	if routes["/v1/run"] == 0 || routes["/v1/sweep"] == 0 {
+		t.Fatalf("route mix collapsed: %v", routes)
+	}
+	if tight == 0 {
+		t.Fatal("no request drew the tight deadline budget")
+	}
+}
+
+// TestPlanZipfSkew: popularity is actually skewed — the hottest run key
+// must beat the uniform share by a wide margin, which is what lets the
+// hit-ratio SLO hold.
+func TestPlanZipfSkew(t *testing.T) {
+	cfg := testConfig("skew")
+	cfg.PSweep = 0
+	reqs, err := plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, rq := range reqs {
+		counts[rq.Key]++
+	}
+	top := 0
+	for _, n := range counts {
+		if n > top {
+			top = n
+		}
+	}
+	uniform := len(reqs) / cfg.Keys
+	if top < 2*uniform {
+		t.Fatalf("hottest key drew %d of %d requests; uniform share is %d — no zipf skew",
+			top, len(reqs), uniform)
+	}
+}
+
+// TestPlanBurstsShareArrival: bursts emit back-to-back requests with a
+// zero inter-arrival gap.
+func TestPlanBurstsShareArrival(t *testing.T) {
+	cfg := testConfig("bursts")
+	cfg.PBurst = 0.2
+	reqs, err := plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].At == reqs[i-1].At {
+			same++
+		}
+	}
+	if same == 0 {
+		t.Fatal("no two requests share an arrival instant despite bursts")
+	}
+}
+
+// TestSummarizeSLOMath: percentile, error-rate and hit-ratio arithmetic on
+// a hand-built result set.
+func TestSummarizeSLOMath(t *testing.T) {
+	results := make([]result, 0, 10)
+	for i := 0; i < 8; i++ {
+		cache := "hit"
+		if i < 2 {
+			cache = "miss"
+		} else if i == 2 {
+			cache = "disk"
+		}
+		results = append(results, result{status: 200, cache: cache, latency: msDur(i + 1)})
+	}
+	results = append(results, result{status: 429, latency: msDur(1)})
+	results = append(results, result{err: fmt.Errorf("conn refused")})
+
+	rep := summarize(testConfig("math"), "http://x", 4, results, msDur(1000))
+	if rep.OK != 8 {
+		t.Fatalf("OK = %d, want 8", rep.OK)
+	}
+	if got := rep.ErrorRate; got != 0.2 {
+		t.Fatalf("ErrorRate = %v, want 0.2", got)
+	}
+	// 5 hits + 1 disk of 8 OK.
+	if got := rep.HitRatio; got != 0.75 {
+		t.Fatalf("HitRatio = %v, want 0.75", got)
+	}
+	if got := rep.LatencyMS["p50"]; got != 4 {
+		t.Fatalf("p50 = %v, want 4", got)
+	}
+	if got := rep.LatencyMS["max"]; got != 8 {
+		t.Fatalf("max = %v, want 8", got)
+	}
+	if rep.ByStatus["429"] != 1 || rep.ByStatus["transport_error"] != 1 {
+		t.Fatalf("ByStatus = %v", rep.ByStatus)
+	}
+}
+
+func msDur(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }

@@ -1,0 +1,152 @@
+// Chaos variant of the warm-start e2e: a fault-injecting backend hammered
+// through a store-backed server must never leave a poisoned entry on disk.
+// After a restart, every persisted response is byte-identical to a clean
+// server's, and keys that only ever failed are absent from the store.
+
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// TestChaosStoreNeverPoisoned drives seeds through a chaos-wrapped backend
+// (transient and partial failures) with client retries until each succeeds,
+// then restarts onto the same store directory with a backend that injects a
+// fault on every call. Each previously-succeeded key must come back 200
+// from disk, byte-identical to an unfaulted reference server — proving
+// failed flights never wrote through.
+func TestChaosStoreNeverPoisoned(t *testing.T) {
+	dir := t.TempDir()
+
+	inj, err := chaos.NewInjector(chaos.Config{
+		Seed:            "store-poison",
+		PTransient:      0.45,
+		PPartial:        0.15,
+		MaxFaultsPerKey: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &fakeInner{}
+	st1, err := store.Open(dir, store.Options{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		Backend:        chaos.Wrap(inner, inj),
+		DefaultTimeout: 30 * time.Second,
+		Store:          st1,
+	})
+	ref := server.New(server.Config{
+		Backend:        &fakeInner{},
+		DefaultTimeout: 30 * time.Second,
+	})
+
+	const seeds = 5
+	want := make([]string, seeds)
+	for s := 0; s < seeds; s++ {
+		rec := post(t, ref, "/v1/run", runBody(fmt.Sprintf("poison-%d", s), 5000))
+		if rec.Code != 200 {
+			t.Fatalf("reference server: status %d: %s", rec.Code, rec.Body)
+		}
+		want[s] = rec.Body.String()
+	}
+
+	// Retry each seed until it succeeds; the injector's per-key fault
+	// budget guarantees convergence. Every non-200 along the way is a
+	// failed flight that must not have written through.
+	failures := 0
+	for s := 0; s < seeds; s++ {
+		body := runBody(fmt.Sprintf("poison-%d", s), 5000)
+		ok := false
+		for attempt := 0; attempt < 8 && !ok; attempt++ {
+			rec := post(t, srv, "/v1/run", body)
+			switch rec.Code {
+			case 200:
+				if rec.Body.String() != want[s] {
+					t.Fatalf("seed %d: faulted server diverged from reference:\n got: %s\nwant: %s",
+						s, rec.Body, want[s])
+				}
+				ok = true
+			case 500, 504:
+				failures++
+			default:
+				t.Fatalf("seed %d attempt %d: unexpected status %d: %s", s, attempt, rec.Code, rec.Body)
+			}
+		}
+		if !ok {
+			t.Fatalf("seed %d never succeeded within the fault budget", s)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("chaos injected no failures; the test proved nothing — tune the fault probabilities")
+	}
+
+	// Wait out the asynchronous write-through, then "crash".
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && st1.Stats().Puts < seeds {
+		time.Sleep(time.Millisecond)
+	}
+	if got := st1.Stats().Puts; got != seeds {
+		t.Fatalf("store absorbed %d puts, want exactly %d (one per succeeded key)", got, seeds)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: every call into the backend now faults deterministically, so
+	// only the store can produce a 200. All persisted entries must match
+	// the clean reference byte for byte.
+	inj2, err := chaos.NewInjector(chaos.Config{
+		Seed:            "store-poison-restart",
+		PTransient:      1.0,
+		MaxFaultsPerKey: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(dir, store.Options{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Len(); got != seeds {
+		t.Fatalf("recovered store holds %d entries, want %d", got, seeds)
+	}
+	if stats := st2.Stats(); stats.CorruptRecords != 0 || stats.TornBytes != 0 {
+		t.Fatalf("clean shutdown left a damaged log: %+v", stats)
+	}
+	srv2 := server.New(server.Config{
+		Backend:        chaos.Wrap(&fakeInner{}, inj2),
+		DefaultTimeout: 30 * time.Second,
+		Store:          st2,
+	})
+	for s := 0; s < seeds; s++ {
+		rec := post(t, srv2, "/v1/run", runBody(fmt.Sprintf("poison-%d", s), 5000))
+		if rec.Code != 200 {
+			t.Fatalf("seed %d after restart: status %d (store should have served it): %s",
+				s, rec.Code, rec.Body)
+		}
+		if got := rec.Header().Get("X-Cache"); got != "disk" {
+			t.Fatalf("seed %d after restart: X-Cache = %q, want disk", s, got)
+		}
+		if rec.Body.String() != want[s] {
+			t.Fatalf("seed %d: persisted bytes diverge from reference:\n got: %s\nwant: %s",
+				s, rec.Body, want[s])
+		}
+	}
+
+	// A key that never succeeded must miss the store and surface the
+	// backend fault, not a fabricated response.
+	rec := post(t, srv2, "/v1/run", runBody("never-succeeded", 5000))
+	if rec.Code != 500 {
+		t.Fatalf("unseen key after restart: status %d, want 500 (all-faulting backend): %s",
+			rec.Code, rec.Body)
+	}
+}

@@ -68,6 +68,18 @@ func runMixes(ctx context.Context, s Scale, name string, cfgs []core.Config) ([]
 		func(_ int, cfg core.Config) (*core.MixResult, error) { return core.RunMix(context.Background(), cfg) })
 }
 
+// TinyScale runs every experiment in well under a second. It exists for
+// serving smoke and load tests (mirageload's sweep traffic), where the
+// point is exercising the serving layer, not producing meaningful curves.
+var TinyScale = Scale{
+	Name:              "tiny",
+	TargetInsts:       150_000,
+	IntervalCycles:    15_000,
+	MixesPerPoint:     1,
+	NValues:           []int{2},
+	TimelineIntervals: 20,
+}
+
 // QuickScale runs every experiment in seconds-to-minutes.
 var QuickScale = Scale{
 	Name:              "quick",

@@ -14,6 +14,17 @@ import (
 // cache for the identical request arriving after the load spike.
 var ErrTransient = errors.New("transient failure")
 
+// Backing is an optional second storage tier behind a Cache: a miss
+// consults Load before computing (a warm disk store surviving restarts),
+// and every successfully settled flight is offered to Store. Both methods
+// must be safe for concurrent use; Load runs on the first caller's
+// goroutine and Store on the flight goroutine, so neither blocks other
+// keys. The production implementation adapts internal/store.
+type Backing[K comparable, V any] interface {
+	Load(key K) (V, bool)
+	Store(key K, v V)
+}
+
 // Cache is a concurrency-safe keyed memoization with singleflight semantics:
 // the first caller for a key starts a "flight" running fn; callers arriving
 // while the flight is in progress block and share its result instead of
@@ -24,11 +35,19 @@ var ErrTransient = errors.New("transient failure")
 // Flights are context-aware (DoContext): waiters can abandon a flight when
 // their request context ends, and a flight whose every waiter has left is
 // cancelled and evicted so it does not burn simulation time for nobody.
-// Completed flights are cached forever — value or error alike, because
+// Completed flights are cached — value or error alike, because
 // deterministic workloads fail deterministically — except when the error is
 // the flight's own cancellation or wraps ErrTransient.
 //
-// The zero value is ready to use.
+// Settled entries are bounded: MaxEntries and MaxBytes cap the cache and
+// evict least-recently-used entries (a hit refreshes recency), so a
+// long-lived server under a zipfian tail of one-off keys cannot grow
+// without limit. In-progress flights are never evicted — eviction reclaims
+// memory, not work in flight.
+//
+// The zero value is ready to use (unbounded, no backing tier). The
+// configuration fields must be set before the first call and not changed
+// afterwards.
 type Cache[K comparable, V any] struct {
 	// AbandonGrace bounds how long the last abandoning waiter lingers for
 	// the flight to settle before walking away. A small grace lets a
@@ -37,8 +56,24 @@ type Cache[K comparable, V any] struct {
 	// returning a bare context error. Zero means leave immediately.
 	AbandonGrace time.Duration
 
-	mu sync.Mutex
-	m  map[K]*flight[V]
+	// MaxEntries bounds the number of settled entries (0 = unbounded).
+	MaxEntries int
+	// MaxBytes bounds the summed Size of settled entries (0 = unbounded).
+	// Entries that settled with an error weigh zero.
+	MaxBytes int64
+	// Size measures a value for MaxBytes accounting; nil weighs every
+	// value as zero (MaxEntries still applies).
+	Size func(V) int64
+	// Backing is the optional second tier consulted on a miss before the
+	// flight runs (a hit settles instantly with OutcomeDisk) and offered
+	// every successful result. nil disables the tier.
+	Backing Backing[K, V]
+
+	mu               sync.Mutex
+	m                map[K]*flight[K, V]
+	lruHead, lruTail *flight[K, V] // settled entries, most recent first
+	settled          int
+	bytes            int64
 }
 
 // Outcome classifies how a DoContext call obtained its result — the cache
@@ -55,13 +90,16 @@ const (
 	// OutcomeHit: this caller was served from an already-settled entry
 	// without blocking.
 	OutcomeHit
+	// OutcomeDisk: this caller's miss was answered by the Backing tier —
+	// no computation ran, the bytes came off disk (a warm start).
+	OutcomeDisk
 )
 
 // Shared reports whether the caller reused work started by another caller
-// (everything but the flight leader).
+// or recovered from the backing tier (everything but the flight leader).
 func (o Outcome) Shared() bool { return o != OutcomeLeader }
 
-// String implements fmt.Stringer ("leader", "waiter", "hit").
+// String implements fmt.Stringer ("leader", "waiter", "hit", "disk").
 func (o Outcome) String() string {
 	switch o {
 	case OutcomeLeader:
@@ -70,12 +108,15 @@ func (o Outcome) String() string {
 		return "waiter"
 	case OutcomeHit:
 		return "hit"
+	case OutcomeDisk:
+		return "disk"
 	}
 	return "outcome?"
 }
 
 // flight is one in-progress or settled computation.
-type flight[V any] struct {
+type flight[K comparable, V any] struct {
+	key     K
 	done    chan struct{} // closed when v/err are settled
 	v       V
 	err     error
@@ -83,6 +124,12 @@ type flight[V any] struct {
 
 	waiters int                // guarded by Cache.mu
 	cancel  context.CancelFunc // cancels the flight's own context
+
+	// LRU links through settled entries (guarded by Cache.mu); inLRU marks
+	// membership, size is the entry's MaxBytes weight.
+	lruPrev, lruNext *flight[K, V]
+	inLRU            bool
+	size             int64
 }
 
 // Do returns the cached result for key, computing it with fn on first use.
@@ -117,11 +164,12 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func(context.Context) (V, error)) (v V, out Outcome, err error) {
 	c.mu.Lock()
 	if c.m == nil {
-		c.m = make(map[K]*flight[V])
+		c.m = make(map[K]*flight[K, V])
 	}
 	f, ok := c.m[key]
 	if ok {
 		if f.settled {
+			c.touchLocked(f)
 			c.mu.Unlock()
 			return f.v, OutcomeHit, f.err
 		}
@@ -134,9 +182,29 @@ func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func(context.Cont
 	// (context.WithoutCancel) so a shared computation outlives any single
 	// request, but keeps its values so telemetry attribution flows through.
 	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
-	f = &flight[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	f = &flight[K, V]{key: key, done: make(chan struct{}), waiters: 1, cancel: cancel}
 	c.m[key] = f
 	c.mu.Unlock()
+
+	// Consult the backing tier before paying for the computation. The
+	// flight is already in the map, so concurrent callers for the key park
+	// on it instead of racing their own disk reads; a backing hit settles
+	// the flight with the stored value and nobody runs fn.
+	if c.Backing != nil {
+		if bv, ok := c.Backing.Load(key); ok {
+			c.mu.Lock()
+			f.v = bv
+			f.settled = true
+			f.waiters--
+			if c.m[key] == f {
+				c.insertSettledLocked(f)
+			}
+			c.mu.Unlock()
+			cancel()
+			close(f.done)
+			return bv, OutcomeDisk, nil
+		}
+	}
 
 	go func() {
 		v, err := fn(fctx)
@@ -150,17 +218,83 @@ func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func(context.Cont
 			if c.m[key] == f {
 				delete(c.m, key)
 			}
+		} else if c.m[key] == f {
+			c.insertSettledLocked(f)
 		}
 		c.mu.Unlock()
 		cancel() // release the context's timer/goroutine resources
 		close(f.done)
+		if err == nil && c.Backing != nil {
+			// Off the waiters' wakeup path: done is already closed.
+			c.Backing.Store(key, v)
+		}
 	}()
 	return c.wait(ctx, key, f, OutcomeLeader)
 }
 
+// --- settled-entry LRU (guarded by c.mu) ---
+
+func (c *Cache[K, V]) lruUnlink(f *flight[K, V]) {
+	if f.lruPrev != nil {
+		f.lruPrev.lruNext = f.lruNext
+	} else if c.lruHead == f {
+		c.lruHead = f.lruNext
+	}
+	if f.lruNext != nil {
+		f.lruNext.lruPrev = f.lruPrev
+	} else if c.lruTail == f {
+		c.lruTail = f.lruPrev
+	}
+	f.lruPrev, f.lruNext = nil, nil
+}
+
+func (c *Cache[K, V]) lruPushFront(f *flight[K, V]) {
+	f.lruPrev, f.lruNext = nil, c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.lruPrev = f
+	}
+	c.lruHead = f
+	if c.lruTail == nil {
+		c.lruTail = f
+	}
+}
+
+// touchLocked refreshes a settled entry's recency on a hit.
+func (c *Cache[K, V]) touchLocked(f *flight[K, V]) {
+	if f.inLRU {
+		c.lruUnlink(f)
+		c.lruPushFront(f)
+	}
+}
+
+// insertSettledLocked admits a freshly settled flight to the bounded cache
+// and evicts past the caps, oldest first. Error entries weigh zero bytes
+// but still count against MaxEntries.
+func (c *Cache[K, V]) insertSettledLocked(f *flight[K, V]) {
+	if f.err == nil && c.Size != nil {
+		f.size = c.Size(f.v)
+	}
+	f.inLRU = true
+	c.lruPushFront(f)
+	c.settled++
+	c.bytes += f.size
+	for c.lruTail != nil &&
+		((c.MaxEntries > 0 && c.settled > c.MaxEntries) ||
+			(c.MaxBytes > 0 && c.bytes > c.MaxBytes)) {
+		evict := c.lruTail
+		c.lruUnlink(evict)
+		evict.inLRU = false
+		c.settled--
+		c.bytes -= evict.size
+		if c.m[evict.key] == evict {
+			delete(c.m, evict.key)
+		}
+	}
+}
+
 // wait blocks until the flight settles or ctx ends, maintaining the waiter
 // count and triggering last-waiter-out cancellation.
-func (c *Cache[K, V]) wait(ctx context.Context, key K, f *flight[V], out Outcome) (V, Outcome, error) {
+func (c *Cache[K, V]) wait(ctx context.Context, key K, f *flight[K, V], out Outcome) (V, Outcome, error) {
 	select {
 	case <-f.done:
 		c.mu.Lock()
@@ -224,11 +358,21 @@ func (c *Cache[K, V]) Len() int {
 	return len(c.m)
 }
 
+// Bytes returns the summed Size of settled entries (0 without a Size func).
+func (c *Cache[K, V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 // Reset drops every cached entry. In-flight computations complete against
 // the old entries; callers after Reset recompute fresh. Used by the
 // determinism tests and by long-lived processes that want to bound memory.
+// The backing tier is untouched — Reset empties memory, not disk.
 func (c *Cache[K, V]) Reset() {
 	c.mu.Lock()
 	c.m = nil
+	c.lruHead, c.lruTail = nil, nil
+	c.settled, c.bytes = 0, 0
 	c.mu.Unlock()
 }

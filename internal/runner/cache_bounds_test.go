@@ -1,0 +1,246 @@
+// Tests for the Cache capacity bounds (LRU over settled entries) and the
+// Backing disk tier: the regression suite for the "singleflight cache grows
+// without limit under a zipfian tail" bug and for warm starts.
+
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheMaxEntriesLRU(t *testing.T) {
+	c := &Cache[string, int]{MaxEntries: 2}
+	compute := func(v int) func() (int, error) {
+		return func() (int, error) { return v, nil }
+	}
+	mustDo := func(key string, v int) {
+		t.Helper()
+		got, err := c.Do(key, compute(v))
+		if err != nil || got != v {
+			t.Fatalf("Do(%s) = %d, %v", key, got, err)
+		}
+	}
+	mustDo("a", 1)
+	mustDo("b", 2)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// Touch a so b is the LRU entry, then overflow with c.
+	if v, _, err := c.DoContext(context.Background(), "a", nil); err != nil || v != 1 {
+		t.Fatalf("hit a = %d, %v", v, err)
+	}
+	mustDo("c", 3)
+	if c.Len() != 2 {
+		t.Fatalf("Len after eviction = %d, want 2", c.Len())
+	}
+	// The LRU entry b was evicted; the refreshed a survived.
+	v, out, err := c.DoContext(context.Background(), "a", func(context.Context) (int, error) {
+		return 0, errors.New("a was evicted: it was the most recently used entry")
+	})
+	if err != nil || v != 1 || out != OutcomeHit {
+		t.Fatalf("a = %d, %v, %v; want cached 1", v, out, err)
+	}
+	ran := false
+	got, err := c.Do("b", func() (int, error) { ran = true; return 20, nil })
+	if err != nil || got != 20 || !ran {
+		t.Fatalf("b after eviction = %d, ran=%v, err=%v (want recompute)", got, ran, err)
+	}
+}
+
+func TestCacheMaxBytes(t *testing.T) {
+	c := &Cache[string, []byte]{
+		MaxBytes: 100,
+		Size:     func(b []byte) int64 { return int64(len(b)) },
+	}
+	put := func(key string, n int) {
+		t.Helper()
+		if _, err := c.Do(key, func() ([]byte, error) { return make([]byte, n), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", 40)
+	put("b", 40)
+	if got := c.Bytes(); got != 80 {
+		t.Fatalf("Bytes = %d, want 80", got)
+	}
+	put("c", 40) // 120 > 100: evicts a (oldest)
+	if got := c.Bytes(); got != 80 {
+		t.Fatalf("Bytes after eviction = %d, want 80", got)
+	}
+	ran := false
+	if _, err := c.Do("a", func() ([]byte, error) { ran = true; return nil, nil }); err != nil || !ran {
+		t.Fatalf("a should have been evicted (ran=%v, err=%v)", ran, err)
+	}
+}
+
+// TestCacheBoundedUnderZipfianTail is the original bug as a scenario: a
+// stream of mostly one-off keys must not grow the cache past its cap.
+func TestCacheBoundedUnderZipfianTail(t *testing.T) {
+	c := &Cache[string, int]{MaxEntries: 64}
+	for i := 0; i < 10_000; i++ {
+		key := fmt.Sprintf("one-off-%d", i)
+		if i%10 == 0 {
+			key = fmt.Sprintf("hot-%d", i%30)
+		}
+		if _, err := c.Do(key, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n := c.Len(); n > 64 {
+			t.Fatalf("after %d requests the cache holds %d entries (cap 64)", i+1, n)
+		}
+	}
+}
+
+// TestCacheErrorEntriesCountAgainstCap: cached errors occupy entries (zero
+// bytes) and are evictable like values.
+func TestCacheErrorEntriesCountAgainstCap(t *testing.T) {
+	c := &Cache[string, int]{MaxEntries: 1}
+	wantErr := errors.New("deterministic failure")
+	if _, err := c.Do("bad", func() (int, error) { return 0, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Do("good", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// "bad" was evicted by "good": it must recompute.
+	ran := false
+	if _, err := c.Do("bad", func() (int, error) { ran = true; return 0, wantErr }); !errors.Is(err, wantErr) || !ran {
+		t.Fatalf("evicted error entry not recomputed (ran=%v, err=%v)", ran, err)
+	}
+}
+
+// mapBacking is an in-memory Backing for tests.
+type mapBacking struct {
+	mu     sync.Mutex
+	m      map[string][]byte
+	loads  int
+	stores int
+}
+
+func newMapBacking() *mapBacking { return &mapBacking{m: make(map[string][]byte)} }
+
+func (b *mapBacking) Load(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loads++
+	v, ok := b.m[key]
+	return v, ok
+}
+
+func (b *mapBacking) Store(key string, v []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stores++
+	b.m[key] = append([]byte(nil), v...)
+}
+
+func TestCacheBackingDiskHit(t *testing.T) {
+	bk := newMapBacking()
+	bk.m["warm"] = []byte("stored")
+	c := &Cache[string, []byte]{Backing: bk}
+	v, out, err := c.DoContext(context.Background(), "warm", func(context.Context) ([]byte, error) {
+		return nil, errors.New("fn ran despite a backing hit")
+	})
+	if err != nil || out != OutcomeDisk || string(v) != "stored" {
+		t.Fatalf("= %q, %v, %v; want stored/disk/nil", v, out, err)
+	}
+	// The disk hit is now a settled memory entry: the next call is a plain
+	// hit and does not touch the backing again.
+	loadsBefore := bk.loads
+	v, out, err = c.DoContext(context.Background(), "warm", nil)
+	if err != nil || out != OutcomeHit || string(v) != "stored" {
+		t.Fatalf("second = %q, %v, %v; want stored/hit/nil", v, out, err)
+	}
+	if bk.loads != loadsBefore {
+		t.Fatalf("memory hit consulted the backing (%d loads)", bk.loads-loadsBefore)
+	}
+}
+
+func TestCacheBackingStoreOnSuccess(t *testing.T) {
+	bk := newMapBacking()
+	c := &Cache[string, []byte]{Backing: bk}
+	if _, err := c.Do("k", func() ([]byte, error) { return []byte("computed"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Store runs on the flight goroutine after the flight settles, so Do
+	// returning does not guarantee the write landed yet; poll briefly.
+	var got []byte
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		bk.mu.Lock()
+		got = bk.m["k"]
+		bk.mu.Unlock()
+		if got != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if string(got) != "computed" {
+		t.Fatalf("backing holds %q, want computed result", got)
+	}
+}
+
+func TestCacheBackingNotPoisonedByFailures(t *testing.T) {
+	bk := newMapBacking()
+	c := &Cache[string, []byte]{Backing: bk}
+	wantErr := errors.New("boom")
+	if _, err := c.Do("fail", func() ([]byte, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("transient", func() ([]byte, error) {
+		return nil, fmt.Errorf("rejected: %w", ErrTransient)
+	}); !errors.Is(err, ErrTransient) {
+		t.Fatal(err)
+	}
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if len(bk.m) != 0 || bk.stores != 0 {
+		t.Fatalf("failures reached the backing tier: %v (stores=%d)", bk.m, bk.stores)
+	}
+}
+
+// TestCacheBackingConcurrentMiss: concurrent first callers for a warm key
+// share one flight — exactly one backing load, everyone gets the bytes.
+func TestCacheBackingConcurrentMiss(t *testing.T) {
+	bk := newMapBacking()
+	bk.m["warm"] = []byte("stored")
+	c := &Cache[string, []byte]{Backing: bk}
+	const n = 16
+	var wg sync.WaitGroup
+	outs := make([]Outcome, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, out, err := c.DoContext(context.Background(), "warm", func(context.Context) ([]byte, error) {
+				return nil, errors.New("fn must not run for a warm key")
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			vals[i], outs[i] = v, out
+		}()
+	}
+	wg.Wait()
+	disk := 0
+	for i := 0; i < n; i++ {
+		if string(vals[i]) != "stored" {
+			t.Fatalf("caller %d got %q", i, vals[i])
+		}
+		if outs[i] == OutcomeDisk {
+			disk++
+		}
+	}
+	if disk == 0 {
+		t.Fatal("no caller observed OutcomeDisk")
+	}
+	if bk.loads > n {
+		t.Fatalf("loads = %d for %d callers", bk.loads, n)
+	}
+}

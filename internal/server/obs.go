@@ -485,9 +485,19 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "draining:          %v\n", draining)
 	fmt.Fprintf(w, "active_requests:   %d\n", active)
 	fmt.Fprintf(w, "cache_entries:     %d\n", s.cache.Len())
+	fmt.Fprintf(w, "cache_bytes:       %d\n", s.cache.Bytes())
 	fmt.Fprintf(w, "jobs_executed:     %d\n", executed)
 	fmt.Fprintf(w, "singleflight_hits: %d\n", hits)
 	fmt.Fprintf(w, "cache_hit_ratio:   %.3f\n", hitRatio)
+	if st := s.cfg.Store; st != nil {
+		stats := st.Stats()
+		fmt.Fprintf(w, "store_entries:     %d\n", st.Len())
+		fmt.Fprintf(w, "store_log_bytes:   %d\n", st.LogBytes())
+		fmt.Fprintf(w, "store_live_bytes:  %d\n", st.LiveBytes())
+		fmt.Fprintf(w, "store_hits:        %d\n", stats.Hits)
+		fmt.Fprintf(w, "store_puts:        %d\n", stats.Puts)
+		fmt.Fprintf(w, "store_recovered:   %d\n", stats.Recovered)
+	}
 	fmt.Fprintf(w, "\nin-flight requests (%d):\n", len(rows))
 	for _, rw := range rows {
 		role := rw.role

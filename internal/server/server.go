@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -78,6 +79,18 @@ type Config struct {
 	TraceEvents int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Store is the optional persistent result store behind the in-memory
+	// response cache. When set, response bytes survive restarts: a miss in
+	// memory consults the store before admitting a simulation, and every
+	// successful flight writes its bytes through. The caller owns the
+	// store's lifecycle (Open/Close); nil disables the disk tier.
+	Store *store.Store
+	// CacheMaxEntries and CacheMaxBytes bound the in-memory response cache
+	// (defaults 4096 entries / 256 MiB; negative disables that bound).
+	// Without them a long-lived server leaks one encoded response body per
+	// distinct job key ever served.
+	CacheMaxEntries int
+	CacheMaxBytes   int64
 }
 
 // Server is the miraged HTTP API. Create with New; it implements
@@ -145,6 +158,7 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Scales == nil {
 		cfg.Scales = map[string]experiments.Scale{
+			"tiny":  experiments.TinyScale,
 			"quick": experiments.QuickScale,
 			"full":  experiments.FullScale,
 		}
@@ -157,6 +171,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.TraceEvents == 0 {
 		cfg.TraceEvents = 4096
+	}
+	if cfg.CacheMaxEntries == 0 {
+		cfg.CacheMaxEntries = 4096
+	}
+	if cfg.CacheMaxBytes == 0 {
+		cfg.CacheMaxBytes = 256 << 20
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -174,6 +194,16 @@ func New(cfg Config) *Server {
 		s.reqSink = telemetry.NewBoundedTraceSink(cfg.TraceEvents)
 	}
 	s.cache.AbandonGrace = cfg.AbandonGrace
+	if cfg.CacheMaxEntries > 0 {
+		s.cache.MaxEntries = cfg.CacheMaxEntries
+	}
+	if cfg.CacheMaxBytes > 0 {
+		s.cache.MaxBytes = cfg.CacheMaxBytes
+	}
+	s.cache.Size = func(b []byte) int64 { return int64(len(b)) }
+	if cfg.Store != nil {
+		s.cache.Backing = &storeAdapter{st: cfg.Store, reg: s.reg, logger: cfg.Logger}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.instrument("run", s.track(s.handleRun)))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.track(s.handleSweep)))
@@ -324,6 +354,37 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// storeAdapter bridges the persistent result store into the cache's
+// Backing interface, instrumenting both directions. A failed write-through
+// is counted and logged but never surfaces to the request: the response
+// was already computed, only its persistence is lost.
+type storeAdapter struct {
+	st     *store.Store
+	reg    *telemetry.Registry
+	logger *slog.Logger
+}
+
+func (a *storeAdapter) Load(key string) ([]byte, bool) {
+	v, ok := a.st.Get(key)
+	if ok {
+		a.reg.Counter("server.store.hits").Inc()
+	} else {
+		a.reg.Counter("server.store.misses").Inc()
+	}
+	return v, ok
+}
+
+func (a *storeAdapter) Store(key string, v []byte) {
+	if err := a.st.Put(key, v); err != nil {
+		a.reg.Counter("server.store.write_errors").Inc()
+		if a.logger != nil {
+			a.logger.Error("store write failed", "key", key, "error", err)
+		}
+		return
+	}
+	a.reg.Counter("server.store.writes").Inc()
+}
+
 // requestContext derives the job context: the client's cancellation, the
 // effective deadline, and the server's telemetry registry for the runner's
 // scheduling counters.
@@ -390,6 +451,11 @@ func (s *Server) execute(ctx context.Context, key string, fn func(context.Contex
 			rt.setFault(fault)
 		}
 		rt.addSpan("cache_lookup", start, wait, map[string]any{"outcome": "hit"})
+	case runner.OutcomeDisk:
+		// Served from the persistent store: no leader in this process
+		// computed the bytes (they survived a restart).
+		rt.setOutcome("disk", "", rt.requestID())
+		rt.addSpan("cache_lookup", start, wait, map[string]any{"outcome": "disk"})
 	}
 	return body, out, err
 }
@@ -628,11 +694,16 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string, detai
 // 429/503 with Retry-After; anything else a job produced is a 500.
 func (s *Server) finish(w http.ResponseWriter, ctx context.Context, body []byte, out runner.Outcome, err error) {
 	if err == nil {
-		if out.Shared() {
+		// OutcomeDisk is Shared() but is a store hit, not a singleflight
+		// one: the bytes came off disk, no in-process flight was joined.
+		if out == runner.OutcomeDisk {
+			s.reg.Counter("server.store.served").Inc()
+		} else if out.Shared() {
 			s.reg.Counter("server.singleflight.hits").Inc()
 		}
 		s.reg.Counter("server.requests.ok").Inc()
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", cacheLabel(out))
 		_ = withSpan(ctx, "write", func() error {
 			_, werr := w.Write(body)
 			return werr
@@ -659,6 +730,18 @@ func (s *Server) finish(w http.ResponseWriter, ctx context.Context, body []byte,
 			"simulation failed: "+err.Error(), canceledDetail(err), 0,
 			"server.requests.failed")
 	}
+}
+
+// cacheLabel maps an execute outcome onto the X-Cache response header that
+// clients (mirageload, the restart e2e test) key their hit accounting on.
+func cacheLabel(out runner.Outcome) string {
+	switch out {
+	case runner.OutcomeHit:
+		return "hit"
+	case runner.OutcomeDisk:
+		return "disk"
+	}
+	return "miss"
 }
 
 // canceledDetail extracts partial-result progress when the error carries a

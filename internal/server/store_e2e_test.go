@@ -1,0 +1,201 @@
+// The warm-start e2e: responses persisted by one server process are served
+// byte-identically by the next process from disk, without touching the
+// backend. This is the acceptance test for the persistent result store
+// (DESIGN.md §13).
+
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"log/slog"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/store"
+)
+
+// countingBackend is a fake backend that counts how many calls reached the
+// simulation layer, so the restart test can prove a disk hit ran nothing.
+type countingBackend struct {
+	runs    atomic.Int64
+	reports atomic.Int64
+}
+
+func (b *countingBackend) Run(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
+	b.runs.Add(1)
+	return fakeMixResult(cfg), nil
+}
+
+func (b *countingBackend) Reports(ctx context.Context, sc experiments.Scale, ids []string) ([]*experiments.Report, error) {
+	b.reports.Add(1)
+	out := make([]*experiments.Report, len(ids))
+	for i, id := range ids {
+		out[i] = &experiments.Report{ID: id, Notes: "counted " + id}
+	}
+	return out, nil
+}
+
+// openStore opens the result store in dir, failing the test on error.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitForPuts blocks until the store has absorbed at least n writes.
+// Write-through happens on the flight goroutine after the response is
+// already on the wire, so the client seeing a 200 does not mean the bytes
+// hit the log yet.
+func waitForPuts(t *testing.T, st *store.Store, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Stats().Puts >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("store absorbed %d puts, want >= %d", st.Stats().Puts, n)
+}
+
+// TestRestartServedFromDisk is the warm-start acceptance flow: sweep on a
+// store-backed server, tear the server down, build a fresh server over a
+// fresh store on the same directory, and require the second fetch to be a
+// byte-identical disk hit that never reaches the backend — with the access
+// log attributing it as cache=disk.
+func TestRestartServedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	const body = `{"scale":"tiny"}`
+
+	// First process: cold miss computes, repeat is a memory hit.
+	var buf1 syncBuffer
+	be1 := &countingBackend{}
+	st1 := openStore(t, dir)
+	srv1 := newTestServer(t, func(cfg *Config) {
+		cfg.Backend = be1
+		cfg.Store = st1
+		cfg.Logger = slog.New(slog.NewJSONHandler(&buf1, nil))
+	})
+
+	rec := postWithID(t, srv1, "/v1/sweep", body, "warm-cold")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold sweep status = %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold sweep X-Cache = %q, want miss", got)
+	}
+	want := rec.Body.Bytes()
+
+	rec = postWithID(t, srv1, "/v1/sweep", body, "warm-memhit")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat = %d / X-Cache %q, want 200/hit", rec.Code, rec.Header().Get("X-Cache"))
+	}
+	if got := be1.reports.Load(); got != 1 {
+		t.Fatalf("backend ran %d times in process one, want 1", got)
+	}
+
+	// The write-through is asynchronous; wait for it before "crashing".
+	waitForPuts(t, st1, 1)
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: same directory, fresh everything. The backend must
+	// never run — a disk hit serves the persisted bytes.
+	var buf2 syncBuffer
+	be2 := &countingBackend{}
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	srv2 := newTestServer(t, func(cfg *Config) {
+		cfg.Backend = be2
+		cfg.Store = st2
+		cfg.Logger = slog.New(slog.NewJSONHandler(&buf2, nil))
+	})
+
+	const diskID = "warm-disk"
+	rec = postWithID(t, srv2, "/v1/sweep", body, diskID)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-restart sweep status = %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Cache"); got != "disk" {
+		t.Fatalf("post-restart X-Cache = %q, want disk", got)
+	}
+	if rec.Body.String() != string(want) {
+		t.Fatalf("disk hit is not byte-identical:\n got: %s\nwant: %s", rec.Body, want)
+	}
+	if got := be2.reports.Load(); got != 0 {
+		t.Fatalf("backend ran %d times after restart, want 0 (disk hit)", got)
+	}
+
+	// The access log attributes the disk hit.
+	line := requestLine(t, &buf2, diskID)
+	if line["cache"] != "disk" {
+		t.Errorf("access log cache = %v, want disk", line["cache"])
+	}
+	if _, hasRole := line["role"]; hasRole {
+		t.Errorf("disk hit logged a flight role: %v", line)
+	}
+
+	// The disk hit seeded the in-memory tier: the next fetch is a plain
+	// hit that consults neither disk nor backend.
+	hitsBefore := srv2.Telemetry().Reg().Counter("server.store.hits").Value()
+	rec = postWithID(t, srv2, "/v1/sweep", body, "warm-memhit-2")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("warmed repeat = %d / X-Cache %q, want 200/hit", rec.Code, rec.Header().Get("X-Cache"))
+	}
+	if got := srv2.Telemetry().Reg().Counter("server.store.hits").Value(); got != hitsBefore {
+		t.Errorf("memory hit consulted the store (hits %d -> %d)", hitsBefore, got)
+	}
+	if got := srv2.Telemetry().Reg().Counter("server.store.served").Value(); got != 1 {
+		t.Errorf("server.store.served = %d, want 1", got)
+	}
+}
+
+// TestRestartRunEndpointServedFromDisk covers the /v1/run path: run job
+// keys round-trip through the store the same way sweeps do.
+func TestRestartRunEndpointServedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	const body = `{"mix": ["hmmer", "bzip2"], "seed": "warm-run"}`
+
+	be1 := &countingBackend{}
+	st1 := openStore(t, dir)
+	srv1 := newTestServer(t, func(cfg *Config) {
+		cfg.Backend = be1
+		cfg.Store = st1
+	})
+	rec := postJSON(t, srv1, "/v1/run", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold run status = %d: %s", rec.Code, rec.Body)
+	}
+	want := rec.Body.String()
+	waitForPuts(t, st1, 1)
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	be2 := &countingBackend{}
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	srv2 := newTestServer(t, func(cfg *Config) {
+		cfg.Backend = be2
+		cfg.Store = st2
+	})
+	rec = postJSON(t, srv2, "/v1/run", body)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "disk" {
+		t.Fatalf("post-restart run = %d / X-Cache %q, want 200/disk", rec.Code, rec.Header().Get("X-Cache"))
+	}
+	if rec.Body.String() != want {
+		t.Fatalf("run disk hit not byte-identical:\n got: %s\nwant: %s", rec.Body, want)
+	}
+	if got := be2.runs.Load(); got != 0 {
+		t.Fatalf("backend ran %d times after restart, want 0", got)
+	}
+}

@@ -1,0 +1,462 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// val derives a deterministic payload from a key, so any byte the store
+// hands back can be checked against ground truth without bookkeeping.
+func val(key string, n int) []byte {
+	r := xrand.NewString("val/" + key)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Uint64())
+	}
+	return b
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	keys := []string{"run|a", "sweep|quick", "figure|7"}
+	for i, k := range keys {
+		if err := s.Put(k, val(k, 100+i)); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	if got, ok := s.Get("missing"); ok || got != nil {
+		t.Fatalf("Get(missing) = %q, %v; want miss", got, ok)
+	}
+	for i, k := range keys {
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, val(k, 100+i)) {
+			t.Fatalf("Get(%s) = %d bytes, %v; want %d bytes", k, len(got), ok, 100+i)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	if s2.Len() != len(keys) {
+		t.Fatalf("reopened Len = %d, want %d", s2.Len(), len(keys))
+	}
+	for i, k := range keys {
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, val(k, 100+i)) {
+			t.Fatalf("reopened Get(%s) = %d bytes, %v", k, len(got), ok)
+		}
+	}
+	if st := s2.Stats(); st.Recovered != int64(len(keys)) || st.CorruptRecords != 0 || st.TornBytes != 0 {
+		t.Fatalf("clean reopen stats = %+v", st)
+	}
+}
+
+func TestStoreOverwriteLastWins(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); !ok || string(got) != "new" {
+		t.Fatalf("Get(k) = %q, %v", got, ok)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, Options{})
+	if got, ok := s2.Get("k"); !ok || string(got) != "new" {
+		t.Fatalf("reopened Get(k) = %q, %v; want last write to win", got, ok)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+}
+
+// TestStorePropertyOracle drives random interleavings of Put/Get/reopen
+// against a map-model oracle. Uncapped, the store must agree with the map
+// exactly; hits must always carry the oracle's bytes.
+func TestStorePropertyOracle(t *testing.T) {
+	for seed := 0; seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := xrand.NewString(fmt.Sprintf("store-prop/%d", seed))
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{})
+			oracle := map[string][]byte{}
+			keyOf := func() string { return fmt.Sprintf("key-%d", r.Intn(40)) }
+			for op := 0; op < 2000; op++ {
+				switch {
+				case r.Bool(0.45): // Put
+					k := keyOf()
+					v := val(fmt.Sprintf("%s/%d", k, op), 1+r.Intn(300))
+					if err := s.Put(k, v); err != nil {
+						t.Fatalf("op %d: Put: %v", op, err)
+					}
+					oracle[k] = v
+				case r.Bool(0.05): // reopen (simulated restart)
+					if err := s.Close(); err != nil {
+						t.Fatalf("op %d: Close: %v", op, err)
+					}
+					s = mustOpen(t, dir, Options{})
+				default: // Get
+					k := keyOf()
+					got, ok := s.Get(k)
+					want, inOracle := oracle[k]
+					if ok != inOracle {
+						t.Fatalf("op %d: Get(%s) hit=%v, oracle=%v", op, k, ok, inOracle)
+					}
+					if ok && !bytes.Equal(got, want) {
+						t.Fatalf("op %d: Get(%s) returned wrong bytes", op, k)
+					}
+				}
+			}
+			if s.Len() != len(oracle) {
+				t.Fatalf("Len = %d, oracle has %d", s.Len(), len(oracle))
+			}
+		})
+	}
+}
+
+// TestStorePropertyOracleCapped is the capped variant: evictions make
+// misses legal, but a hit must still carry exactly the oracle's bytes, and
+// the key written by the immediately preceding Put must always be present.
+func TestStorePropertyOracleCapped(t *testing.T) {
+	for seed := 0; seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := xrand.NewString(fmt.Sprintf("store-prop-cap/%d", seed))
+			dir := t.TempDir()
+			const cap = 8 << 10
+			s := mustOpen(t, dir, Options{MaxBytes: cap})
+			oracle := map[string][]byte{}
+			lastPut := ""
+			var evictions, compactions int64 // accumulated across restarts
+			for op := 0; op < 3000; op++ {
+				switch {
+				case r.Bool(0.5):
+					k := fmt.Sprintf("key-%d", r.Intn(60))
+					v := val(fmt.Sprintf("%s/%d", k, op), 1+r.Intn(256))
+					if err := s.Put(k, v); err != nil {
+						t.Fatalf("op %d: Put: %v", op, err)
+					}
+					oracle[k] = v
+					lastPut = k
+				case r.Bool(0.05):
+					st := s.Stats()
+					evictions += st.Evictions
+					compactions += st.Compactions
+					if err := s.Close(); err != nil {
+						t.Fatalf("op %d: Close: %v", op, err)
+					}
+					s = mustOpen(t, dir, Options{MaxBytes: cap})
+				default:
+					k := fmt.Sprintf("key-%d", r.Intn(60))
+					got, ok := s.Get(k)
+					if !ok {
+						continue // evicted: a miss is legal under a cap
+					}
+					want, inOracle := oracle[k]
+					if !inOracle {
+						t.Fatalf("op %d: Get(%s) fabricated a hit", op, k)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("op %d: Get(%s) returned wrong bytes", op, k)
+					}
+				}
+				if lastPut != "" {
+					if got, ok := s.Get(lastPut); !ok || !bytes.Equal(got, oracle[lastPut]) {
+						t.Fatalf("op %d: most recent Put(%s) not retrievable (hit=%v)", op, lastPut, ok)
+					}
+				}
+				if lb := s.LogBytes(); lb > cap {
+					t.Fatalf("op %d: log grew to %d bytes past cap %d", op, lb, cap)
+				}
+			}
+			st := s.Stats()
+			evictions += st.Evictions
+			compactions += st.Compactions
+			if evictions == 0 || compactions == 0 {
+				t.Fatalf("capped run exercised no eviction/compaction (evict=%d compact=%d)", evictions, compactions)
+			}
+		})
+	}
+}
+
+// buildLog writes n records into a fresh store and returns the raw log
+// bytes plus each record's end offset (the write frontier after record i).
+func buildLog(t *testing.T, n int) (data []byte, keys []string, ends []int64) {
+	t.Helper()
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if err := s.Put(k, val(k, 20+7*i)); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+		ends = append(ends, s.LogBytes())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, keys, ends
+}
+
+// writeLog drops raw bytes into a fresh dir as the store log.
+func writeLog(t *testing.T, data []byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestStoreCrashEveryTruncationOffset kills the log at every byte offset —
+// the every-offset torn-write battery. Records fully contained in the
+// prefix must be recovered with exact bytes; everything else must be a
+// miss; and the recovered store must accept new writes and reopen cleanly.
+func TestStoreCrashEveryTruncationOffset(t *testing.T) {
+	data, keys, ends := buildLog(t, 6)
+	for cut := 0; cut <= len(data); cut++ {
+		dir := writeLog(t, data[:cut])
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		for i, k := range keys {
+			got, ok := s.Get(k)
+			if intact := ends[i] <= int64(cut); intact != ok {
+				t.Fatalf("cut=%d: Get(%s) hit=%v, want %v", cut, k, ok, intact)
+			} else if ok && !bytes.Equal(got, val(k, 20+7*i)) {
+				t.Fatalf("cut=%d: Get(%s) returned corrupt bytes", cut, k)
+			}
+		}
+		// The survivor must be a working store: append and reopen cleanly.
+		if err := s.Put("after-crash", []byte("fresh")); err != nil {
+			t.Fatalf("cut=%d: Put after recovery: %v", cut, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("cut=%d: Close: %v", cut, err)
+		}
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if got, ok := s2.Get("after-crash"); !ok || string(got) != "fresh" {
+			t.Fatalf("cut=%d: post-recovery write lost (hit=%v)", cut, ok)
+		}
+		if st := s2.Stats(); st.TornBytes != 0 || st.CorruptRecords != 0 {
+			t.Fatalf("cut=%d: second reopen not clean: %+v", cut, st)
+		}
+		s2.Close()
+	}
+}
+
+// TestStoreBitFlipEveryByte flips bits at every byte of the log and asserts
+// the blast radius: Open never fails or returns corrupt bytes, a flip
+// inside record i costs at most record i (resync preserves its neighbors),
+// and a flip in the file header costs only warmth (fresh store).
+func TestStoreBitFlipEveryByte(t *testing.T) {
+	data, keys, ends := buildLog(t, 5)
+	recOf := func(off int) int {
+		for i, e := range ends {
+			if int64(off) < e {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, mask := range []byte{0x01, 0x80} {
+		for off := 0; off < len(data); off++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= mask
+			dir := writeLog(t, mut)
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("off=%d mask=%#x: Open: %v", off, mask, err)
+			}
+			if off < headerLen {
+				// Header flip: the whole log is unreadable; the store must
+				// come up empty and usable, never wrong.
+				if s.Len() != 0 {
+					t.Fatalf("off=%d mask=%#x: header flip recovered %d entries", off, mask, s.Len())
+				}
+			} else {
+				hit := recOf(off)
+				for i, k := range keys {
+					got, ok := s.Get(k)
+					if i != hit && !ok {
+						t.Fatalf("off=%d mask=%#x: flip in record %d lost record %d", off, mask, hit, i)
+					}
+					if ok && !bytes.Equal(got, val(k, 20+7*i)) {
+						t.Fatalf("off=%d mask=%#x: Get(%s) returned corrupt bytes", off, mask, k)
+					}
+				}
+			}
+			if err := s.Put("post-flip", []byte("ok")); err != nil {
+				t.Fatalf("off=%d mask=%#x: Put: %v", off, mask, err)
+			}
+			if got, ok := s.Get("post-flip"); !ok || string(got) != "ok" {
+				t.Fatalf("off=%d mask=%#x: post-flip write unreadable", off, mask)
+			}
+			s.Close()
+		}
+	}
+}
+
+func TestStoreEvictionLRU(t *testing.T) {
+	dir := t.TempDir()
+	// Each record is recHdrLen + 1 + 100 = 117 bytes. With a 500-byte cap,
+	// the fifth put overflows the file (8 + 5*117 = 593) and the store
+	// evicts down to half the cap (live ≤ 242 → the 2 most recent survive).
+	s := mustOpen(t, dir, Options{MaxBytes: 500})
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if err := s.Put(k, val(k, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get("a"); !ok { // refresh a: recency becomes a,d,c,b
+		t.Fatal("a missing before eviction")
+	}
+	if err := s.Put("e", val("e", 100)); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]bool{"e": true, "a": true, "d": false, "c": false, "b": false} {
+		if _, ok := s.Get(k); ok != want {
+			t.Errorf("after eviction Get(%s) hit=%v, want %v", k, ok, want)
+		}
+	}
+	if st := s.Stats(); st.Evictions == 0 || st.Compactions == 0 {
+		t.Fatalf("no eviction/compaction recorded: %+v", st)
+	}
+}
+
+func TestStoreCompactionDropsDeadBytes(t *testing.T) {
+	dir := t.TempDir()
+	const cap = 4 << 10
+	s := mustOpen(t, dir, Options{MaxBytes: cap})
+	// Overwrite a handful of keys until dead records force a compaction.
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%d", i%4)
+		if err := s.Put(k, val(fmt.Sprintf("%s/%d", k, i), 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction despite %d puts into a %d-byte cap", st.Puts, cap)
+	}
+	if lb := s.LogBytes(); lb > cap {
+		t.Fatalf("log is %d bytes, cap %d", lb, cap)
+	}
+	for i := 196; i < 200; i++ {
+		k := fmt.Sprintf("k%d", i%4)
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, val(fmt.Sprintf("%s/%d", k, i), 200)) {
+			t.Fatalf("post-compaction Get(%s) wrong (hit=%v)", k, ok)
+		}
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, Options{MaxBytes: cap})
+	for i := 196; i < 200; i++ {
+		k := fmt.Sprintf("k%d", i%4)
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, val(fmt.Sprintf("%s/%d", k, i), 200)) {
+			t.Fatalf("reopen-after-compaction Get(%s) wrong (hit=%v)", k, ok)
+		}
+	}
+}
+
+func TestStoreOversizeValueSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxBytes: 1 << 10})
+	if err := s.Put("big", make([]byte, 600)); err != nil {
+		t.Fatalf("oversize Put must not error: %v", err)
+	}
+	if _, ok := s.Get("big"); ok {
+		t.Fatal("oversize value was stored")
+	}
+	if st := s.Stats(); st.Oversize != 1 {
+		t.Fatalf("Oversize = %d, want 1", st.Oversize)
+	}
+}
+
+// TestStoreGetVerifiesAfterOpen corrupts the file underneath a live store
+// and proves Get degrades to a miss instead of serving the corrupt bytes.
+func TestStoreGetVerifiesAfterOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("k", val("k", 64)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smash one byte in the value region (last byte of the file).
+	if _, err := f.WriteAt([]byte{0xff}, int64(s.LogBytes()-1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got, ok := s.Get("k"); ok {
+		t.Fatalf("Get served %d corrupt bytes", len(got))
+	}
+	if st := s.Stats(); st.CorruptRecords != 1 {
+		t.Fatalf("CorruptRecords = %d, want 1", st.CorruptRecords)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("corrupt entry not dropped")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxBytes: 64 << 10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := xrand.NewString(fmt.Sprintf("store-conc/%d", w))
+			for op := 0; op < 500; op++ {
+				k := fmt.Sprintf("key-%d", r.Intn(16))
+				if r.Bool(0.5) {
+					// Every writer writes the same deterministic bytes per
+					// key, so readers can verify any hit.
+					if err := s.Put(k, val(k, 128)); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				} else if got, ok := s.Get(k); ok && !bytes.Equal(got, val(k, 128)) {
+					t.Errorf("Get(%s) returned wrong bytes", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

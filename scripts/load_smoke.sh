@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Load smoke: boot miraged with a persistent result store, drive it with
+# mirageload's deterministic zipfian/Poisson traffic, and gate on the serving
+# SLOs (p50/p99 latency, error rate, cache-hit ratio). Then restart the
+# server onto the same store directory and replay the same seed: the warm
+# run must hold a stricter hit-ratio SLO and serve at least one request
+# straight from disk (X-Cache: disk), proving warm starts work end to end.
+# CI runs this in the load-smoke job and uploads BENCH_serving.json plus the
+# server logs; it is equally runnable locally: ./scripts/load_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ADDR="127.0.0.1:18090"
+BASE="http://$ADDR"
+STORE_DIR="$(mktemp -d)"
+SEED="load-smoke"
+
+echo "== build"
+go build -o miraged-load ./cmd/miraged
+go build -o mirageload-bin ./cmd/mirageload
+
+cleanup() {
+  if [ -n "${SRV_PID:-}" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+  fi
+  rm -rf miraged-load mirageload-bin "$STORE_DIR"
+}
+trap cleanup EXIT
+
+start_server() {
+  local log="$1"
+  ./miraged-load -addr "$ADDR" -log-format json \
+    -max-inflight 4 -queue 128 \
+    -store-dir "$STORE_DIR" -store-max-bytes $((64 * 1024 * 1024)) 2>"$log" &
+  SRV_PID=$!
+  for i in $(seq 1 50); do
+    if curl -sf "$BASE/v1/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+      echo "miraged exited during startup:" >&2; cat "$log" >&2; exit 1
+    fi
+    sleep 0.2
+  done
+  echo "healthz never came up" >&2; cat "$log" >&2; exit 1
+}
+
+stop_server() {
+  kill "$SRV_PID"
+  wait "$SRV_PID" 2>/dev/null || true
+  unset SRV_PID
+}
+
+echo "== cold run: fresh store at $STORE_DIR"
+start_server load_cold.log
+./mirageload-bin -target "$BASE" -seed "$SEED" \
+  -requests 300 -rate 150 -concurrency 16 -keys 16 -sweep-scale tiny \
+  -slo-p50-ms 500 -slo-p99-ms 10000 \
+  -slo-max-error-rate 0.01 -slo-min-hit-ratio 0.4 \
+  -out BENCH_serving_cold.json
+stop_server
+
+echo "== warm run: restarted server, same store, same seed"
+start_server load_warm.log
+./mirageload-bin -target "$BASE" -seed "$SEED" \
+  -requests 300 -rate 150 -concurrency 16 -keys 16 -sweep-scale tiny \
+  -slo-p50-ms 500 -slo-p99-ms 10000 \
+  -slo-max-error-rate 0.01 -slo-min-hit-ratio 0.8 \
+  -out BENCH_serving.json
+stop_server
+
+echo "== validate"
+python3 - <<'PY'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+cold, warm = load("BENCH_serving_cold.json"), load("BENCH_serving.json")
+
+for name, rep in (("cold", cold), ("warm", warm)):
+    for field in ("config", "by_status", "by_cache", "latency_ms", "slo"):
+        if field not in rep:
+            sys.exit(f"{name} report lacks {field!r}")
+    for p in ("p50", "p99"):
+        if p not in rep["latency_ms"]:
+            sys.exit(f"{name} report lacks latency_ms.{p}")
+    checks = {c["name"] for c in rep["slo"]["checks"]}
+    for want in ("p50_ms", "p99_ms", "error_rate", "hit_ratio"):
+        if want not in checks:
+            sys.exit(f"{name} report lacks SLO check {want!r}")
+    if not rep["slo"]["pass"]:
+        sys.exit(f"{name} run breached SLOs: {rep['slo']['checks']}")
+
+# The warm run must have touched the persistent store: at least one request
+# served with X-Cache: disk, and a hit ratio at least as good as cold's.
+disk = warm["by_cache"].get("disk", 0)
+if disk < 1:
+    sys.exit(f"warm run served nothing from disk: by_cache={warm['by_cache']}")
+if warm["hit_ratio"] < cold["hit_ratio"]:
+    sys.exit(f"warm hit ratio {warm['hit_ratio']} below cold {cold['hit_ratio']}")
+
+# The restarted server's access log must attribute disk hits.
+saw_disk_line = False
+with open("load_warm.log") as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        if rec.get("msg") == "request" and rec.get("cache") == "disk":
+            saw_disk_line = True
+            break
+if not saw_disk_line:
+    sys.exit("no cache=disk access-log line in the warm run")
+
+print(f"load smoke OK: cold hit_ratio={cold['hit_ratio']:.3f} "
+      f"warm hit_ratio={warm['hit_ratio']:.3f} disk_hits={disk} "
+      f"warm p50={warm['latency_ms']['p50']}ms p99={warm['latency_ms']['p99']}ms")
+PY
+
+rm -f load_cold.log load_warm.log BENCH_serving_cold.json
+echo "== load smoke passed (BENCH_serving.json retained)"
