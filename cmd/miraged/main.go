@@ -1,4 +1,6 @@
-// Command miraged serves the simulator as an HTTP/JSON API.
+// Command miraged serves the simulator as an HTTP/JSON API — as a single
+// worker (the default), or as a fleet coordinator sharding work across
+// worker miraged instances.
 //
 // Usage:
 //
@@ -8,6 +10,23 @@
 //	        [-cache-entries 4096] [-cache-bytes N]
 //	        [-metrics-out m.json] [-pprof cpu.prof] [-pprof-http]
 //	        [-log-format json|text] [-log-level info]
+//
+//	miraged -coordinator -workers http://w1:8081,http://w2:8082,... \
+//	        [-addr :8080] [-probe-interval 1s] [-hedge-min 100ms]
+//	        [-hedge-max 10s] [-log-format json|text] [-log-level info]
+//
+// In coordinator mode the process simulates nothing itself: it derives the
+// canonical job key from each request (the same derivation the workers
+// cache under), routes it to the key's owner on a consistent-hash ring over
+// -workers, hedges to the next distinct replica when the owner exceeds the
+// coordinator's own observed p99 latency (clamped to [-hedge-min,
+// -hedge-max]), fails over on transport errors and 502/503, and polls every
+// worker's /v1/healthz each -probe-interval, re-sharding the ring when a
+// worker leaves or returns. Requests routed to a non-owner carry an
+// X-Mirage-Owner header; the worker asks that owner's cache before
+// simulating (cache peering), so each key is computed once fleet-wide.
+// Responses carry X-Mirage-Shard (the worker that served) and
+// X-Mirage-Hedged (the winning attempt number, when not the first).
 //
 // Endpoints (see DESIGN.md §10/§12 and the README "Operating miraged"
 // section):
@@ -51,6 +70,7 @@ import (
 
 	"log/slog"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -73,6 +93,12 @@ func main() {
 	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20, "size cap on the result store log; overflow evicts least-recently-used entries")
 	cacheEntries := flag.Int("cache-entries", 4096, "max entries in the in-memory response cache (-1 = unlimited)")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "max bytes of response bodies held in memory (-1 = unlimited)")
+	coordinator := flag.Bool("coordinator", false, "run as a fleet coordinator over -workers instead of simulating")
+	workers := flag.String("workers", "", "comma-separated worker base URLs for -coordinator mode")
+	probeInterval := flag.Duration("probe-interval", time.Second, "coordinator health-poll period per worker")
+	hedgeMin := flag.Duration("hedge-min", 100*time.Millisecond, "coordinator lower clamp on the hedge latency budget")
+	hedgeMax := flag.Duration("hedge-max", 10*time.Second, "coordinator upper clamp on the hedge latency budget")
+	peering := flag.Bool("peering", true, "worker mode: answer /internal/peer/cache and consult the key owner's cache on hedged requests")
 	flag.Parse()
 
 	if *maxInFlight < 1 || *queue < 0 || *parallel < 0 {
@@ -81,6 +107,13 @@ func main() {
 	logger, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *coordinator {
+		runCoordinator(logger, *addr, *workers, *probeInterval, *hedgeMin, *hedgeMax, *drainTimeout, *metricsOut)
+		return
+	}
+	if *workers != "" {
+		fatalf("-workers requires -coordinator")
 	}
 
 	tel := telemetry.New()
@@ -99,7 +132,7 @@ func main() {
 			"entries", st.Len(), "log_bytes", st.LogBytes(),
 			"recovered", st.Stats().Recovered)
 	}
-	srv := server.New(server.Config{
+	scfg := server.Config{
 		MaxInFlight:     *maxInFlight,
 		MaxQueue:        *queue,
 		DefaultTimeout:  *timeout,
@@ -111,7 +144,13 @@ func main() {
 		Store:           st,
 		CacheMaxEntries: *cacheEntries,
 		CacheMaxBytes:   *cacheBytes,
-	})
+	}
+	if *peering {
+		// Consulted only when a coordinator routed the request here with an
+		// X-Mirage-Owner hint; a standalone worker never peers.
+		scfg.PeerFetch = fleet.NewPeerFetch(nil)
+	}
+	srv := server.New(scfg)
 
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -160,6 +199,66 @@ func main() {
 	if drainErr != nil {
 		logger.Error("drain incomplete", "error", drainErr)
 		os.Exit(1)
+	}
+	logger.Info("exited cleanly")
+}
+
+// runCoordinator is the -coordinator main loop: build the fleet front end
+// over the worker list, start the health prober, serve until signalled,
+// then stop probing and drain the HTTP layer.
+func runCoordinator(logger *slog.Logger, addr, workers string, probeInterval, hedgeMin, hedgeMax, drainTimeout time.Duration, metricsOut string) {
+	var urls []string
+	for _, w := range strings.Split(workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			urls = append(urls, strings.TrimRight(w, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fatalf("-coordinator requires -workers with at least one URL")
+	}
+	tel := telemetry.New()
+	coord, err := fleet.New(fleet.Config{
+		Workers:       urls,
+		ProbeInterval: probeInterval,
+		HedgeMin:      hedgeMin,
+		HedgeMax:      hedgeMax,
+		Telemetry:     tel,
+		Logger:        logger,
+	})
+	if err != nil {
+		fatalf("building coordinator: %v", err)
+	}
+	// Converge worker health before accepting traffic, then keep probing.
+	coord.ProbeOnce(context.Background())
+	coord.Start()
+	defer coord.Close()
+
+	hs := &http.Server{Addr: addr, Handler: coord}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Info("coordinating", "addr", addr, "workers", urls,
+		"probe_interval", probeInterval.String())
+
+	select {
+	case err := <-errc:
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("draining", "drain_timeout", drainTimeout.String())
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	coord.Close()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Error("http shutdown failed", "error", err)
+	}
+	if metricsOut != "" {
+		if err := tel.WriteMetricsFile(metricsOut); err != nil {
+			logger.Error("metrics export failed", "path", metricsOut, "error", err)
+		}
 	}
 	logger.Info("exited cleanly")
 }

@@ -1,0 +1,361 @@
+// Coordinator unit tests over httptest workers: shard routing, failover,
+// hedging, health-driven eviction, and header attribution. The full-stack
+// fleet e2e (real miraged workers, chaos faults, byte-identical sweeps)
+// lives in internal/chaos.
+
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"log/slog"
+)
+
+// fakeWorker is a minimal miraged stand-in: healthz plus an echo of which
+// worker served, with pluggable per-request behaviour.
+type fakeWorker struct {
+	name    string
+	srv     *httptest.Server
+	healthy atomic.Bool
+	served  atomic.Int64
+	// handle, when set, overrides the default echo response.
+	handle atomic.Pointer[http.HandlerFunc]
+
+	mu   sync.Mutex
+	reqs []*http.Request
+}
+
+func newFakeWorker(t *testing.T, name string) *fakeWorker {
+	t.Helper()
+	w := &fakeWorker{name: name}
+	w.healthy.Store(true)
+	w.srv = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			if !w.healthy.Load() {
+				rw.WriteHeader(http.StatusServiceUnavailable)
+			}
+			fmt.Fprint(rw, `{"status": "ok"}`)
+			return
+		}
+		w.served.Add(1)
+		w.mu.Lock()
+		w.reqs = append(w.reqs, r.Clone(context.Background()))
+		w.mu.Unlock()
+		if h := w.handle.Load(); h != nil {
+			(*h)(rw, r)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, `{"worker": %q}`, w.name)
+	}))
+	t.Cleanup(w.srv.Close)
+	return w
+}
+
+func (w *fakeWorker) lastReq(t *testing.T) *http.Request {
+	t.Helper()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.reqs) == 0 {
+		t.Fatal("worker served no requests")
+	}
+	return w.reqs[len(w.reqs)-1]
+}
+
+func newTestFleet(t *testing.T, workers []*fakeWorker, opt func(*Config)) *Coordinator {
+	t.Helper()
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.srv.URL
+	}
+	cfg := Config{Workers: urls, ProbeInterval: 50 * time.Millisecond}
+	if opt != nil {
+		opt(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func servedBy(rec *httptest.ResponseRecorder) string {
+	var r struct {
+		Worker string `json:"worker"`
+	}
+	_ = json.Unmarshal(rec.Body.Bytes(), &r)
+	return r.Worker
+}
+
+func post(c *Coordinator, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestCoordinatorShardsDeterministically(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w1"), newFakeWorker(t, "w2"), newFakeWorker(t, "w3")}
+	c := newTestFleet(t, ws, nil)
+	byWorker := map[string]bool{}
+	for i := 0; i < 30; i++ {
+		body := fmt.Sprintf(`{"mix": ["hmmer"], "seed": "shard-%d"}`, i)
+		first := post(c, "/v1/run", body)
+		if first.Code != 200 {
+			t.Fatalf("status %d: %s", first.Code, first.Body.Bytes())
+		}
+		w := servedBy(first)
+		byWorker[w] = true
+		if w == "" {
+			t.Fatalf("request %d: no worker attribution in %s", i, first.Body.Bytes())
+		}
+		if shard := first.Header().Get("X-Mirage-Shard"); shard == "" {
+			t.Fatal("response missing X-Mirage-Shard")
+		}
+		// The same body routes to the same worker, every time.
+		for j := 0; j < 3; j++ {
+			if again := servedBy(post(c, "/v1/run", body)); again != w {
+				t.Fatalf("key routed to %s then %s", w, again)
+			}
+		}
+	}
+	if len(byWorker) < 2 {
+		t.Fatalf("30 distinct keys all landed on %v — ring not spreading", byWorker)
+	}
+}
+
+func TestCoordinatorFailsOverOn503AndTransportError(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w1"), newFakeWorker(t, "w2"), newFakeWorker(t, "w3")}
+	c := newTestFleet(t, ws, nil)
+	// Every worker but w3 refuses with 503 (draining shape): whatever the
+	// owner is, the request must end on a 200 from some worker.
+	refuse := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(rw, `{"error": "server is draining"}`)
+	})
+	ws[0].handle.Store(&refuse)
+	ws[1].handle.Store(&refuse)
+	rec := post(c, "/v1/run", `{"mix": ["hmmer"], "seed": "failover"}`)
+	if rec.Code != 200 {
+		t.Fatalf("status %d, want 200 via failover: %s", rec.Code, rec.Body.Bytes())
+	}
+	if got := servedBy(rec); got != "w3" {
+		t.Fatalf("served by %s, want w3", got)
+	}
+
+	// Transport-level death: kill w3's listener too and the coordinator
+	// reports the last worker-shaped failure (the 503), not a hang.
+	ws[2].srv.CloseClientConnections()
+	ws[2].srv.Close()
+	rec = post(c, "/v1/run", `{"mix": ["hmmer"], "seed": "failover-2"}`)
+	if rec.Code != http.StatusServiceUnavailable && rec.Code != http.StatusBadGateway {
+		t.Fatalf("all-failed status %d, want 503 or 502: %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
+func TestCoordinatorHedgesSlowOwner(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w1"), newFakeWorker(t, "w2"), newFakeWorker(t, "w3")}
+	release := make(chan struct{})
+	stall := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+			return
+		}
+		fmt.Fprint(rw, `{"worker": "stalled"}`)
+	})
+	// Stall every worker except one fast responder; whoever owns the key,
+	// hedging must reach the fast worker.
+	fastIdx := 2
+	for i, w := range ws {
+		if i != fastIdx {
+			w.handle.Store(&stall)
+		}
+	}
+	defer close(release)
+	c := newTestFleet(t, ws, func(cfg *Config) {
+		cfg.HedgeMin = 20 * time.Millisecond
+		cfg.HedgeMax = 20 * time.Millisecond
+	})
+	body := `{"mix": ["hmmer"], "seed": "hedge-me"}`
+	start := time.Now()
+	rec := post(c, "/v1/run", body)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	if got := servedBy(rec); got != ws[fastIdx].name {
+		// The fast worker may have been the owner — then no hedge fired.
+		// Force the interesting case by checking attribution only when the
+		// hedge counter moved.
+		t.Fatalf("served by %s, want %s", got, ws[fastIdx].name)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hedge took implausibly long")
+	}
+	// If the fast worker was not the owner, the response is attributed as
+	// hedged and the hedged request carried the owner hint.
+	if rec.Header().Get("X-Mirage-Hedged") != "" {
+		req := ws[fastIdx].lastReq(t)
+		if req.Header.Get("X-Mirage-Owner") == "" {
+			t.Fatal("hedged request missing X-Mirage-Owner")
+		}
+		if req.Header.Get("X-Mirage-Hedge") == "" {
+			t.Fatal("hedged request missing X-Mirage-Hedge")
+		}
+		if c.reg.Counter("fleet.hedges").Value() == 0 {
+			t.Fatal("fleet.hedges counter did not move")
+		}
+	}
+}
+
+func TestProberEvictsAndRestores(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w1"), newFakeWorker(t, "w2"), newFakeWorker(t, "w3")}
+	var logBuf bytes.Buffer
+	logMu := &sync.Mutex{}
+	logger := slog.New(slog.NewJSONHandler(&lockedWriter{mu: logMu, w: &logBuf}, nil))
+	c := newTestFleet(t, ws, func(cfg *Config) { cfg.Logger = logger })
+	c.ProbeOnce(context.Background())
+	if got := len(c.Ring().Healthy()); got != 3 {
+		t.Fatalf("healthy = %d, want 3", got)
+	}
+
+	ws[1].healthy.Store(false) // draining: healthz now 503
+	c.ProbeOnce(context.Background())
+	if c.Ring().Down(ws[0].srv.URL) || !c.Ring().Down(ws[1].srv.URL) || c.Ring().Down(ws[2].srv.URL) {
+		t.Fatalf("eviction state wrong: healthy=%v", c.Ring().Healthy())
+	}
+	for i := 0; i < 20; i++ {
+		rec := post(c, "/v1/run", fmt.Sprintf(`{"mix": ["hmmer"], "seed": "evict-%d"}`, i))
+		if rec.Code != 200 {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+		if got := servedBy(rec); got == "w2" {
+			t.Fatal("evicted worker served a request")
+		}
+	}
+	logMu.Lock()
+	logged := logBuf.String()
+	logMu.Unlock()
+	if !strings.Contains(logged, "ring re-shard") {
+		t.Fatalf("eviction did not log a ring re-shard:\n%s", logged)
+	}
+
+	// Recovery: the worker re-enters on the next probe.
+	ws[1].healthy.Store(true)
+	c.ProbeOnce(context.Background())
+	if got := len(c.Ring().Healthy()); got != 3 {
+		t.Fatalf("healthy = %d after recovery, want 3", got)
+	}
+	if c.reg.Counter("fleet.ring.reshards").Value() != 2 {
+		t.Fatalf("reshards = %d, want 2 (evict + restore)", c.reg.Counter("fleet.ring.reshards").Value())
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// TestCoordinatorPassesThroughValidationErrors: a body whose key cannot be
+// derived still routes (deterministically, unhedged) and the worker's
+// response comes back verbatim.
+func TestCoordinatorPassesThroughValidationErrors(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w1"), newFakeWorker(t, "w2")}
+	reject := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(rw, `{"error": "unknown benchmark \"nope\""}`)
+	})
+	for _, w := range ws {
+		w.handle.Store(&reject)
+	}
+	c := newTestFleet(t, ws, nil)
+	body := `{"mix": ["nope"]}`
+	rec := post(c, "/v1/run", body)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want the worker's 400", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "unknown benchmark") {
+		t.Fatalf("worker error body not passed through: %s", rec.Body.Bytes())
+	}
+	// Deterministic: repeats land on the same worker.
+	first := ws[0].served.Load() + ws[1].served.Load()
+	if first != 1 {
+		t.Fatalf("validation-failure request hit %d workers, want exactly 1", first)
+	}
+	for i := 0; i < 5; i++ {
+		post(c, "/v1/run", body)
+	}
+	if ws[0].served.Load() != 0 && ws[1].served.Load() != 0 {
+		t.Fatal("unkeyed fallback routing is not deterministic")
+	}
+}
+
+func TestCoordinatorHealthz(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w1"), newFakeWorker(t, "w2")}
+	c := newTestFleet(t, ws, nil)
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var h struct {
+		Status         string   `json:"status"`
+		Role           string   `json:"role"`
+		HealthyWorkers []string `json:"healthy_workers"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Role != "coordinator" || len(h.HealthyWorkers) != 2 {
+		t.Fatalf("healthz body = %+v", h)
+	}
+
+	for _, w := range ws {
+		w.healthy.Store(false)
+	}
+	c.ProbeOnce(context.Background())
+	rec = httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("no-workers healthz status %d, want 503", rec.Code)
+	}
+	// And simulation requests fail fast with a clean 503.
+	if rec := post(c, "/v1/run", `{"mix": ["hmmer"]}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("no-workers run status %d, want 503", rec.Code)
+	}
+}
+
+func TestCoordinatorMetrics(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w1")}
+	c := newTestFleet(t, ws, nil)
+	if rec := post(c, "/v1/run", `{"mix": ["hmmer"]}`); rec.Code != 200 {
+		t.Fatalf("run status %d", rec.Code)
+	}
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "fleet.requests") {
+		t.Fatalf("metrics missing fleet counters: %s", rec.Body.Bytes())
+	}
+}

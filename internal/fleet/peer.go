@@ -1,0 +1,57 @@
+// Worker-side cache peering client. A worker that receives a hedged or
+// failed-over request (X-Mirage-Owner set) asks the key's owner for the
+// bytes before simulating; the owner answers from its memory or disk tier
+// only — it never simulates on a peer's behalf — so peering is strictly
+// cheaper than recomputing and each key is simulated at most once
+// fleet-wide in the steady state.
+
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// peerFetchTimeout bounds one peer-cache lookup: past it the worker is
+// better off simulating than waiting on a struggling owner.
+const peerFetchTimeout = 2 * time.Second
+
+// NewPeerFetch returns a server.Config.PeerFetch implementation over
+// client (nil uses a dedicated default). The returned func GETs the
+// owner's /internal/peer/cache endpoint and reports (bytes, true) only on
+// a 200; any error, timeout or miss means (nil, false) and the caller
+// simulates locally.
+func NewPeerFetch(client *http.Client) func(ctx context.Context, owner, key string) ([]byte, bool) {
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 4,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return func(ctx context.Context, owner, key string) ([]byte, bool) {
+		pctx, cancel := context.WithTimeout(ctx, peerFetchTimeout)
+		defer cancel()
+		u := owner + "/internal/peer/cache?key=" + url.QueryEscape(key)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, false
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			return nil, false
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false
+		}
+		return b, true
+	}
+}

@@ -1,0 +1,123 @@
+// Health-driven ring membership: the coordinator polls every worker's
+// /v1/healthz and takes non-200 responders out of rotation. A worker that
+// starts draining (503 since the drain fix) or dies (transport error)
+// stops owning keys within one probe interval; when it comes back its disk
+// store gives it warm re-entry, so returning a member to the ring is cheap.
+
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"log/slog"
+
+	"repro/internal/telemetry"
+)
+
+// prober owns the background health loop. Construct via the Coordinator;
+// tests drive probeOnce directly for determinism.
+type prober struct {
+	ring     *Ring
+	client   *http.Client
+	interval time.Duration
+	logger   *slog.Logger
+	reg      *telemetry.Registry
+
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+func newProber(ring *Ring, client *http.Client, interval time.Duration, logger *slog.Logger, reg *telemetry.Registry) *prober {
+	return &prober{
+		ring:     ring,
+		client:   client,
+		interval: interval,
+		logger:   logger,
+		reg:      reg,
+		done:     make(chan struct{}),
+	}
+}
+
+// start launches the poll loop; stop (idempotent) halts it and waits.
+func (p *prober) start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-t.C:
+				p.probeOnce(context.Background())
+			}
+		}
+	}()
+}
+
+func (p *prober) stop() {
+	p.once.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+// probeOnce checks every configured worker concurrently and applies the
+// verdicts to the ring, logging each transition as a re-shard.
+func (p *prober) probeOnce(ctx context.Context) {
+	workers := p.ring.Workers()
+	verdicts := make([]bool, len(workers)) // true = healthy
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			verdicts[i] = p.healthy(ctx, w)
+		}(i, w)
+	}
+	wg.Wait()
+	healthy := 0
+	for _, ok := range verdicts {
+		if ok {
+			healthy++
+		}
+	}
+	for i, w := range workers {
+		if !p.ring.SetDown(w, !verdicts[i]) {
+			continue
+		}
+		// Membership changed: the ring just re-sharded around this worker.
+		p.reg.Counter("fleet.ring.reshards").Inc()
+		if p.logger != nil {
+			p.logger.Info("ring re-shard",
+				"worker", w, "healthy", verdicts[i],
+				"healthy_workers", healthy, "total_workers", len(workers))
+		}
+	}
+	p.reg.Gauge("fleet.workers.healthy").Set(float64(healthy))
+	p.reg.Gauge("fleet.workers.total").Set(float64(len(workers)))
+}
+
+// healthy is one probe: 200 from /v1/healthz within the probe interval.
+// Any transport error or other status (including the 503 a draining worker
+// returns) is unhealthy.
+func (p *prober) healthy(ctx context.Context, worker string) bool {
+	pctx, cancel := context.WithTimeout(ctx, p.interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, worker+"/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.reg.Counter("fleet.probe.errors").Inc()
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode == http.StatusOK
+}

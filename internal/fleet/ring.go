@@ -1,0 +1,187 @@
+// Consistent-hash ring over the fleet's workers. Canonical job keys map to
+// an owner plus an ordered list of distinct fallback replicas; when a
+// worker leaves (health probe failure) or returns, only the keys adjacent
+// to its virtual nodes move — the rest of the fleet's cache placement is
+// undisturbed, which is the whole point of hashing consistently instead of
+// key mod N.
+
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// defaultVNodes is the virtual-node count per worker: enough that key
+// ownership spreads within a few percent of even across a small fleet.
+const defaultVNodes = 64
+
+// point is one virtual node: a position on the 64-bit hash circle owned by
+// a worker.
+type point struct {
+	hash   uint64
+	worker string
+}
+
+// Ring is a consistent-hash ring with health-driven membership. All methods
+// are safe for concurrent use; SetDown rebuilds the point table, the read
+// side pays one RLock and a binary search.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	workers []string // every configured member, in config order
+	down    map[string]bool
+	points  []point // sorted virtual nodes of healthy members only
+}
+
+// NewRing builds a ring over workers (all initially healthy). vnodes <= 0
+// selects the default.
+func NewRing(workers []string, vnodes int) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("fleet ring needs at least one worker")
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	seen := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		if w == "" {
+			return nil, fmt.Errorf("fleet ring worker URL is empty")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("fleet ring worker %q listed twice", w)
+		}
+		seen[w] = true
+	}
+	r := &Ring{
+		vnodes:  vnodes,
+		workers: append([]string(nil), workers...),
+		down:    make(map[string]bool, len(workers)),
+	}
+	r.rebuildLocked()
+	return r, nil
+}
+
+// hash64 hashes a string onto the ring circle. Raw FNV-1a is unusable
+// here: its final step is one multiply by a 40-bit prime, so strings that
+// differ only in trailing bytes differ only in their low ~48 bits and
+// cluster on a sliver of the 2^64 circle (canonical job keys differ almost
+// entirely in trailing bytes). The Murmur3-style finalizer avalanches
+// every input bit across the full word, restoring uniform placement.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rebuildLocked recomputes the sorted point table from the healthy members.
+func (r *Ring) rebuildLocked() {
+	r.points = r.points[:0]
+	for _, w := range r.workers {
+		if r.down[w] {
+			continue
+		}
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", w, i)), worker: w})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// SetDown marks a worker's health, reporting whether the ring changed (the
+// caller logs re-shards only on transitions). Unknown workers are ignored.
+func (r *Ring) SetDown(worker string, down bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	known := false
+	for _, w := range r.workers {
+		if w == worker {
+			known = true
+			break
+		}
+	}
+	if !known || r.down[worker] == down {
+		return false
+	}
+	r.down[worker] = down
+	r.rebuildLocked()
+	return true
+}
+
+// Workers returns every configured member in config order.
+func (r *Ring) Workers() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.workers...)
+}
+
+// Healthy returns the members currently in rotation, in config order.
+func (r *Ring) Healthy() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.workers))
+	for _, w := range r.workers {
+		if !r.down[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Down reports whether a worker is currently out of rotation.
+func (r *Ring) Down(worker string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.down[worker]
+}
+
+// Replicas returns up to n distinct healthy workers for key, in ring order
+// starting at the key's successor point. Replicas(key, 1)[0] is the key's
+// owner; later entries are the hedge/failover order. n <= 0 means every
+// healthy worker. An empty result means the fleet has no healthy members.
+func (r *Ring) Replicas(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	healthy := 0
+	for _, w := range r.workers {
+		if !r.down[w] {
+			healthy++
+		}
+	}
+	if n <= 0 || n > healthy {
+		n = healthy
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, p.worker)
+		}
+	}
+	return out
+}
+
+// Owner returns the healthy worker owning key, or ("", false) when the
+// fleet has no healthy members.
+func (r *Ring) Owner(key string) (string, bool) {
+	reps := r.Replicas(key, 1)
+	if len(reps) == 0 {
+		return "", false
+	}
+	return reps[0], true
+}

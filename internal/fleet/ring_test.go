@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustRing(t *testing.T, workers []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(workers, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty worker list: want error")
+	}
+	if _, err := NewRing([]string{"http://a", "http://a"}, 0); err == nil {
+		t.Fatal("duplicate worker: want error")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty worker URL: want error")
+	}
+}
+
+func TestRingReplicasDistinctAndStable(t *testing.T) {
+	workers := []string{"http://w1", "http://w2", "http://w3"}
+	r := mustRing(t, workers, 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("run|seed=%d", i)
+		reps := r.Replicas(key, 0)
+		if len(reps) != 3 {
+			t.Fatalf("key %q: %d replicas, want 3", key, len(reps))
+		}
+		seen := map[string]bool{}
+		for _, w := range reps {
+			if seen[w] {
+				t.Fatalf("key %q: duplicate replica %q in %v", key, w, reps)
+			}
+			seen[w] = true
+		}
+		// Deterministic: the same key always maps identically.
+		again := r.Replicas(key, 0)
+		for j := range reps {
+			if reps[j] != again[j] {
+				t.Fatalf("key %q: replicas unstable: %v vs %v", key, reps, again)
+			}
+		}
+		if owner, ok := r.Owner(key); !ok || owner != reps[0] {
+			t.Fatalf("key %q: Owner %q/%v, want %q", key, owner, ok, reps[0])
+		}
+	}
+}
+
+func TestRingSpreadsOwnership(t *testing.T) {
+	r := mustRing(t, []string{"http://w1", "http://w2", "http://w3"}, 0)
+	byOwner := map[string]int{}
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("run|seed=%d", i))
+		byOwner[owner]++
+	}
+	if len(byOwner) != 3 {
+		t.Fatalf("only %d workers own keys: %v", len(byOwner), byOwner)
+	}
+	for w, n := range byOwner {
+		// Loose bound: each worker owns a real share, not a sliver.
+		if n < keys/10 {
+			t.Fatalf("worker %s owns %d/%d keys — ring badly unbalanced: %v", w, n, keys, byOwner)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the consistency property: taking one worker
+// down moves only the keys it owned; every key owned by a surviving worker
+// keeps its owner.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := mustRing(t, []string{"http://w1", "http://w2", "http://w3"}, 0)
+	const keys = 200
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("run|seed=%d", i)
+		before[k], _ = r.Owner(k)
+	}
+	if !r.SetDown("http://w2", true) {
+		t.Fatal("SetDown reported no change")
+	}
+	if r.SetDown("http://w2", true) {
+		t.Fatal("repeated SetDown reported a change")
+	}
+	moved := 0
+	for k, owner := range before {
+		now, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("key %q lost its owner", k)
+		}
+		if owner == "http://w2" {
+			moved++
+			if now == "http://w2" {
+				t.Fatalf("key %q still owned by downed worker", k)
+			}
+		} else if now != owner {
+			t.Fatalf("key %q moved %s -> %s though its owner stayed healthy", k, owner, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("downed worker owned no keys; test proves nothing")
+	}
+	// Recovery restores the exact original placement.
+	r.SetDown("http://w2", false)
+	for k, owner := range before {
+		if now, _ := r.Owner(k); now != owner {
+			t.Fatalf("after recovery key %q owned by %s, want %s", k, now, owner)
+		}
+	}
+	if got := len(r.Healthy()); got != 3 {
+		t.Fatalf("healthy = %d after recovery, want 3", got)
+	}
+}
+
+func TestRingAllDown(t *testing.T) {
+	r := mustRing(t, []string{"http://w1", "http://w2"}, 0)
+	r.SetDown("http://w1", true)
+	r.SetDown("http://w2", true)
+	if reps := r.Replicas("run|x", 0); reps != nil {
+		t.Fatalf("all-down replicas = %v, want nil", reps)
+	}
+	if _, ok := r.Owner("run|x"); ok {
+		t.Fatal("all-down Owner reported ok")
+	}
+	// Unknown workers never change the ring.
+	if r.SetDown("http://stranger", true) {
+		t.Fatal("SetDown on unknown worker reported a change")
+	}
+}

@@ -221,10 +221,16 @@ func (c *Cache[K, V]) DoContext(ctx context.Context, key K, fn func(context.Cont
 		} else if c.m[key] == f {
 			c.insertSettledLocked(f)
 		}
+		// The write-through mirrors the memory tier's evict-on-cancel
+		// semantics: a flight whose context was cancelled (every waiter
+		// abandoned it) must not reach the disk tier even when fn ignored
+		// the cancellation and returned a nil error. Capture the verdict
+		// before cancel() below makes fctx.Err() non-nil for every flight.
+		persist := err == nil && fctx.Err() == nil
 		c.mu.Unlock()
 		cancel() // release the context's timer/goroutine resources
 		close(f.done)
-		if err == nil && c.Backing != nil {
+		if persist && c.Backing != nil {
 			// Off the waiters' wakeup path: done is already closed.
 			c.Backing.Store(key, v)
 		}
@@ -348,6 +354,23 @@ func (c *Cache[K, V]) wait(ctx context.Context, key K, f *flight[K, V], out Outc
 	}
 	var zero V
 	return zero, out, ctx.Err()
+}
+
+// Peek returns the settled success value for key without starting, joining
+// or waiting on any flight: in-progress flights and error entries report a
+// miss, and the backing tier is never consulted. A hit refreshes the
+// entry's LRU recency. It is the lookup behind the fleet peering endpoint,
+// which must answer "do you already have the bytes" without doing work.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.m[key]
+	if !ok || !f.settled || f.err != nil {
+		var zero V
+		return zero, false
+	}
+	c.touchLocked(f)
+	return f.v, true
 }
 
 // Len returns the number of cached keys (settled entries plus in-flight

@@ -244,3 +244,106 @@ func TestCacheBackingConcurrentMiss(t *testing.T) {
 		t.Fatalf("loads = %d for %d callers", bk.loads, n)
 	}
 }
+
+// TestCacheBackingSkipsCancelledFlights is the evict-on-cancel parity
+// regression: when every waiter abandons a flight, the memory tier evicts
+// it even if fn ignores the cancellation and returns a nil error — and the
+// disk tier must match, so Backing.Store must not run for it.
+func TestCacheBackingSkipsCancelledFlights(t *testing.T) {
+	bk := newMapBacking()
+	c := &Cache[string, []byte]{Backing: bk, AbandonGrace: 5 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// fn blocks until its flight context is cancelled by the
+		// last-waiter-out path, then "succeeds" anyway.
+		c.DoContext(ctx, "k", func(fctx context.Context) ([]byte, error) {
+			close(entered)
+			<-fctx.Done()
+			return []byte("late success"), nil
+		})
+	}()
+	<-entered
+	cancel() // the only waiter walks away; the flight is cancelled + evicted
+	<-done
+
+	// The memory tier treated the flight as cancelled: a fresh caller leads
+	// a new flight rather than hitting a cached entry.
+	ran := false
+	v, out, err := c.DoContext(context.Background(), "k", func(context.Context) ([]byte, error) {
+		ran = true
+		return []byte("fresh"), nil
+	})
+	if err != nil || !ran || out != OutcomeLeader || string(v) != "fresh" {
+		t.Fatalf("retry = %q, %v, %v (ran=%v); want a fresh leader", v, out, err, ran)
+	}
+
+	// The disk tier must have matched: no write-through of the cancelled
+	// flight's value. The retry's own write lands eventually ("fresh"); give
+	// the flight goroutines time so a reintroduced bug cannot hide behind
+	// scheduling.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		bk.mu.Lock()
+		got, ok := bk.m["k"]
+		bk.mu.Unlock()
+		if ok {
+			if string(got) != "fresh" {
+				t.Fatalf("backing holds %q — the cancelled flight wrote through", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retry's write-through never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // let any buggy late Store surface
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if bk.stores != 1 {
+		t.Fatalf("backing saw %d stores, want 1 (retry only)", bk.stores)
+	}
+	if string(bk.m["k"]) != "fresh" {
+		t.Fatalf("backing holds %q, want the retry's bytes", bk.m["k"])
+	}
+}
+
+// TestCachePeek: Peek serves settled successes only — no flights, no
+// errors, no backing-tier consultation.
+func TestCachePeek(t *testing.T) {
+	bk := newMapBacking()
+	bk.m["disk-only"] = []byte("on disk")
+	c := &Cache[string, []byte]{Backing: bk}
+	if _, ok := c.Peek("absent"); ok {
+		t.Fatal("Peek fabricated a value for an absent key")
+	}
+	loads := bk.loads
+	if _, ok := c.Peek("disk-only"); ok || bk.loads != loads {
+		t.Fatalf("Peek consulted the backing tier (ok=%v, loads=%d)", ok, bk.loads-loads)
+	}
+	if _, err := c.Do("good", func() ([]byte, error) { return []byte("v"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Peek("good"); !ok || string(v) != "v" {
+		t.Fatalf("Peek(good) = %q, %v", v, ok)
+	}
+	wantErr := errors.New("deterministic failure")
+	if _, err := c.Do("bad", func() ([]byte, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatal(err)
+	}
+	if _, ok := c.Peek("bad"); ok {
+		t.Fatal("Peek served an error entry")
+	}
+	// An in-progress flight is not peekable.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do("slow", func() ([]byte, error) { close(started); <-release; return []byte("s"), nil })
+	<-started
+	if _, ok := c.Peek("slow"); ok {
+		t.Fatal("Peek served an unsettled flight")
+	}
+	close(release)
+}

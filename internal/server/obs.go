@@ -53,6 +53,11 @@ type reqTrace struct {
 	id    string
 	route string
 	start time.Time
+	// Fleet attribution, copied off the coordinator's request headers at
+	// creation (immutable): owner is the X-Mirage-Owner peer-fetch hint,
+	// hedge is the X-Mirage-Hedge attempt number on a re-issued request.
+	owner string
+	hedge string
 
 	mu        sync.Mutex
 	key       string
@@ -60,6 +65,7 @@ type reqTrace struct {
 	cache     string // "miss", "hit" or "" (non-simulation route)
 	leader    string // request ID of the flight leader that computed the result
 	fault     string // injected chaos fault kind, if any (MarkFault)
+	peer      string // owner URL the bytes were peer-fetched from, if any
 	deadline  time.Duration
 	queueWait time.Duration
 	spans     []span
@@ -124,6 +130,24 @@ func (rt *reqTrace) setFault(kind string) {
 	}
 	rt.mu.Lock()
 	rt.fault = kind
+	rt.mu.Unlock()
+}
+
+// ownerHint is the nil-safe accessor for the X-Mirage-Owner peer-fetch
+// hint the coordinator attached when routing to a non-owner worker.
+func (rt *reqTrace) ownerHint() string {
+	if rt == nil {
+		return ""
+	}
+	return rt.owner
+}
+
+func (rt *reqTrace) setPeer(owner string) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.peer = owner
 	rt.mu.Unlock()
 }
 
@@ -236,6 +260,13 @@ type flightInfo struct {
 	mu     sync.Mutex
 	leader string
 	fault  string
+
+	// LRU bookkeeping through Server.flights (guarded by Server.flightsMu):
+	// this map shadows the response cache one record per job key, so without
+	// its own bound it re-leaks exactly the zipfian-tail growth the cache's
+	// LRU was built to stop.
+	key        string
+	prev, next *flightInfo
 }
 
 func (fi *flightInfo) setLeader(id string) {
@@ -260,7 +291,12 @@ func (fi *flightInfo) get() (leader, fault string) {
 	return fi.leader, fi.fault
 }
 
-// flightFor returns (lazily creating) the flight record for key.
+// flightFor returns (lazily creating) the flight record for key, keeping
+// the map bounded: records are LRU-ordered and creation past maxFlights
+// evicts the coldest. Callers hold their *flightInfo by pointer, so an
+// evicted record stays usable for requests already attached to it — a
+// later lookup for the same key simply starts a fresh record (at worst one
+// waiter logs an empty leader, never a wrong one).
 func (s *Server) flightFor(key string) *flightInfo {
 	s.flightsMu.Lock()
 	defer s.flightsMu.Unlock()
@@ -268,11 +304,52 @@ func (s *Server) flightFor(key string) *flightInfo {
 		s.flights = make(map[string]*flightInfo)
 	}
 	fi, ok := s.flights[key]
-	if !ok {
-		fi = &flightInfo{}
-		s.flights[key] = fi
+	if ok {
+		s.flightUnlinkLocked(fi)
+		s.flightPushFrontLocked(fi)
+		return fi
+	}
+	fi = &flightInfo{key: key}
+	s.flights[key] = fi
+	s.flightPushFrontLocked(fi)
+	for s.maxFlights > 0 && len(s.flights) > s.maxFlights && s.flightTail != nil {
+		evict := s.flightTail
+		s.flightUnlinkLocked(evict)
+		delete(s.flights, evict.key)
 	}
 	return fi
+}
+
+func (s *Server) flightUnlinkLocked(fi *flightInfo) {
+	if fi.prev != nil {
+		fi.prev.next = fi.next
+	} else if s.flightHead == fi {
+		s.flightHead = fi.next
+	}
+	if fi.next != nil {
+		fi.next.prev = fi.prev
+	} else if s.flightTail == fi {
+		s.flightTail = fi.prev
+	}
+	fi.prev, fi.next = nil, nil
+}
+
+func (s *Server) flightPushFrontLocked(fi *flightInfo) {
+	fi.prev, fi.next = nil, s.flightHead
+	if s.flightHead != nil {
+		s.flightHead.prev = fi
+	}
+	s.flightHead = fi
+	if s.flightTail == nil {
+		s.flightTail = fi
+	}
+}
+
+// flightsLen reports the flight-record count (tests assert boundedness).
+func (s *Server) flightsLen() int {
+	s.flightsMu.Lock()
+	defer s.flightsMu.Unlock()
+	return len(s.flights)
 }
 
 // instrument is the outermost middleware on every route: it assigns the
@@ -287,6 +364,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			id:    incomingRequestID(r),
 			route: route,
 			start: time.Now(),
+			owner: r.Header.Get("X-Mirage-Owner"),
+			hedge: r.Header.Get("X-Mirage-Hedge"),
 		}
 		w.Header().Set("X-Request-ID", rt.id)
 		sw := &statusWriter{ResponseWriter: w}
@@ -342,6 +421,12 @@ func (s *Server) exportTrace(rt *reqTrace, status int, dur time.Duration) {
 	if rt.fault != "" {
 		args["fault"] = rt.fault
 	}
+	if rt.peer != "" {
+		args["peer"] = rt.peer
+	}
+	if rt.hedge != "" {
+		args["hedge"] = rt.hedge
+	}
 	spans := append([]span(nil), rt.spans...)
 	rt.mu.Unlock()
 	sink.Complete("request", "server", ts(rt.start), dur.Microseconds(), tid, args)
@@ -389,6 +474,12 @@ func (s *Server) logRequest(rt *reqTrace, sw *statusWriter, dur time.Duration) {
 	}
 	if rt.fault != "" {
 		attrs = append(attrs, slog.String("fault", rt.fault))
+	}
+	if rt.peer != "" {
+		attrs = append(attrs, slog.String("peer", rt.peer))
+	}
+	if rt.hedge != "" {
+		attrs = append(attrs, slog.String("hedge", rt.hedge))
 	}
 	rt.mu.Unlock()
 	s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)

@@ -1,0 +1,241 @@
+// Tests for the fleet-facing surface of the server: the exported canonical
+// key helpers (must match what the handlers actually cache under), the
+// /internal/peer/cache endpoint, and the PeerFetch hook consulted when a
+// request arrives with an X-Mirage-Owner routing hint.
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// TestCanonicalRunKeyMatchesHandler pins the exported key derivation to the
+// key the /v1/run handler embeds in its response: if they ever drift, the
+// coordinator's shard routing and cache peering silently stop lining up with
+// what workers cache.
+func TestCanonicalRunKeyMatchesHandler(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) {
+		c.Backend = fakeBackend{run: func(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
+			return fakeMixResult(cfg), nil
+		}}
+	})
+	body := `{"mix": ["hmmer", "mcf"], "topology": "traditional", "num_ooo": 2, "seed": "fleet"}`
+	rec := postJSON(t, srv, "/v1/run", body)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var resp struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	var req RunRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	key, err := CanonicalRunKey(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != resp.Key {
+		t.Fatalf("CanonicalRunKey = %q, handler cached under %q", key, resp.Key)
+	}
+	// Invalid requests surface the same client-shaped validation error the
+	// handler would return.
+	if _, err := CanonicalRunKey(&RunRequest{}); err == nil {
+		t.Fatal("empty mix: want validation error")
+	}
+	if _, err := CanonicalRunKey(&RunRequest{Mix: []string{"no-such-bench"}}); err == nil {
+		t.Fatal("unknown benchmark: want validation error")
+	}
+}
+
+// TestCanonicalSweepAndFigureKeys pins the sweep/figure helpers to the
+// internal derivations the handlers use.
+func TestCanonicalSweepAndFigureKeys(t *testing.T) {
+	srv := newTestServer(t, nil)
+	scales := map[string]experiments.Scale{"quick": experiments.QuickScale, "tiny": tinyScale}
+
+	j, sc, aerr := srv.validateSweep(&SweepRequest{Scale: "tiny"})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	got, err := CanonicalSweepKey(&SweepRequest{Scale: "tiny"}, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != j.key {
+		t.Fatalf("CanonicalSweepKey = %q, handler uses %q", got, j.key)
+	}
+	if _, err := CanonicalSweepKey(&SweepRequest{Scale: "bogus"}, scales); err == nil {
+		t.Fatal("unknown scale: want error")
+	}
+	if _, err := CanonicalSweepKey(&SweepRequest{TimeoutMS: -1}, scales); err == nil {
+		t.Fatal("negative timeout: want error")
+	}
+
+	exp, ok := experiments.ByName("figure-7")
+	if !ok {
+		t.Fatal("figure-7 not registered")
+	}
+	want := figureKey(exp.Slug, sc)
+	got, err = CanonicalFigureKey("figure-7", "tiny", scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("CanonicalFigureKey = %q, handler uses %q", got, want)
+	}
+	if _, err := CanonicalFigureKey("no-such-figure", "tiny", scales); err == nil {
+		t.Fatal("unknown figure: want error")
+	}
+
+	// nil scales means the default registry New installs.
+	defKey, err := CanonicalSweepKey(&SweepRequest{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(defKey, "scale=quick") {
+		t.Fatalf("default scale key = %q, want quick", defKey)
+	}
+}
+
+// TestPeerCacheEndpoint: the peering endpoint serves settled response bytes
+// verbatim from memory, 404s keys it never computed, and never triggers a
+// simulation of its own.
+func TestPeerCacheEndpoint(t *testing.T) {
+	var runs atomic.Int64
+	srv := newTestServer(t, func(c *Config) {
+		c.Backend = fakeBackend{run: func(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
+			runs.Add(1)
+			return fakeMixResult(cfg), nil
+		}}
+	})
+	rec := postJSON(t, srv, "/v1/run", `{"mix": ["hmmer"], "seed": "peered"}`)
+	if rec.Code != 200 {
+		t.Fatalf("seed run: status %d", rec.Code)
+	}
+	want := rec.Body.Bytes()
+	key, err := CanonicalRunKey(&RunRequest{Mix: []string{"hmmer"}, Seed: "peered"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peek := get(t, srv, "/internal/peer/cache?key="+url.QueryEscape(key))
+	if peek.Code != 200 {
+		t.Fatalf("peer cache hit: status %d: %s", peek.Code, peek.Body.Bytes())
+	}
+	if !strings.EqualFold(peek.Header().Get("X-Cache"), "memory") {
+		t.Fatalf("X-Cache = %q, want memory", peek.Header().Get("X-Cache"))
+	}
+	if string(peek.Body.Bytes()) != string(want) {
+		t.Fatalf("peer bytes differ from the original response:\n%s\nvs\n%s", peek.Body.Bytes(), want)
+	}
+
+	miss := get(t, srv, "/internal/peer/cache?key="+url.QueryEscape("run|no-such-key"))
+	if miss.Code != http.StatusNotFound {
+		t.Fatalf("peer cache miss: status %d, want 404", miss.Code)
+	}
+	if bad := get(t, srv, "/internal/peer/cache"); bad.Code != http.StatusBadRequest {
+		t.Fatalf("missing key: status %d, want 400", bad.Code)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("peer endpoint triggered %d simulations, want the original 1", got)
+	}
+}
+
+// TestPeerFetchConsulted: a request carrying an X-Mirage-Owner hint asks the
+// configured PeerFetch before simulating; a peer hit serves (and caches) the
+// peer's bytes with zero backend work, a peer miss falls through to a normal
+// simulation, and requests without the hint never consult the peer.
+func TestPeerFetchConsulted(t *testing.T) {
+	peerBody := []byte(`{"peer": "bytes"}` + "\n")
+	var runs, fetches atomic.Int64
+	var hit atomic.Bool
+	srv := newTestServer(t, func(c *Config) {
+		c.Backend = fakeBackend{run: func(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
+			runs.Add(1)
+			return fakeMixResult(cfg), nil
+		}}
+		c.PeerFetch = func(ctx context.Context, owner, key string) ([]byte, bool) {
+			fetches.Add(1)
+			if owner != "http://owner:8080" {
+				t.Errorf("PeerFetch owner = %q", owner)
+			}
+			if !strings.HasPrefix(key, "run|") {
+				t.Errorf("PeerFetch key = %q", key)
+			}
+			if hit.Load() {
+				return append([]byte(nil), peerBody...), true
+			}
+			return nil, false
+		}
+	})
+	withOwner := func(seed string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/run",
+			strings.NewReader(fmt.Sprintf(`{"mix": ["hmmer"], "seed": %q}`, seed)))
+		req.Header.Set("X-Mirage-Owner", "http://owner:8080")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Peer miss: falls through to the local simulation.
+	if rec := withOwner("miss-path"); rec.Code != 200 {
+		t.Fatalf("peer-miss run: status %d", rec.Code)
+	}
+	if runs.Load() != 1 || fetches.Load() != 1 {
+		t.Fatalf("peer miss: runs=%d fetches=%d, want 1/1", runs.Load(), fetches.Load())
+	}
+
+	// Peer hit: the owner's bytes come back verbatim, no local simulation.
+	hit.Store(true)
+	rec := withOwner("hit-path")
+	if rec.Code != 200 {
+		t.Fatalf("peer-hit run: status %d", rec.Code)
+	}
+	if rec.Body.String() != string(peerBody) {
+		t.Fatalf("peer-hit body = %s, want the peer's bytes", rec.Body.Bytes())
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("peer hit still simulated locally (runs=%d)", runs.Load())
+	}
+	if got := srv.reg.Counter("server.peer.hits").Value(); got != 1 {
+		t.Fatalf("server.peer.hits = %d, want 1", got)
+	}
+
+	// The peer-fetched bytes were cached: a repeat without the hint is a
+	// local cache hit and consults nobody.
+	before := fetches.Load()
+	rec = postJSON(t, srv, "/v1/run", `{"mix": ["hmmer"], "seed": "hit-path"}`)
+	if rec.Code != 200 || rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat: status %d X-Cache %q, want 200/hit", rec.Code, rec.Header().Get("X-Cache"))
+	}
+	if rec.Body.String() != string(peerBody) {
+		t.Fatalf("repeat served %s, want cached peer bytes", rec.Body.Bytes())
+	}
+	if fetches.Load() != before {
+		t.Fatal("cache hit consulted the peer again")
+	}
+
+	// No owner hint: the peer is never consulted even with PeerFetch set.
+	before = fetches.Load()
+	if rec := postJSON(t, srv, "/v1/run", `{"mix": ["hmmer"], "seed": "local-only"}`); rec.Code != 200 {
+		t.Fatalf("local run: status %d", rec.Code)
+	}
+	if fetches.Load() != before {
+		t.Fatal("request without X-Mirage-Owner consulted the peer")
+	}
+}

@@ -135,22 +135,42 @@ func validSeed(s string) bool {
 	return true
 }
 
-// validateRun normalizes a RunRequest into a runJob.
+// validateRun normalizes a RunRequest into a runJob, stamping in the
+// server-wide parallelism and telemetry (neither is part of the key).
 func (s *Server) validateRun(req *RunRequest) (*runJob, *apiError) {
+	key, cfg, aerr := canonicalRun(req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	cfg.Parallel = s.cfg.Parallel
+	cfg.Telemetry = s.tel
+	return &runJob{
+		job: job{key: key, timeout: s.timeout(req.TimeoutMS)},
+		cfg: cfg,
+	}, nil
+}
+
+// canonicalRun is the pure canonicalization behind validateRun: it
+// validates req and derives the PR 4 job key plus the simulation config,
+// with no server-instance state folded in. The fleet coordinator calls it
+// (via CanonicalRunKey) so the exact same bytes-for-bytes key shards work
+// across workers.
+func canonicalRun(req *RunRequest) (string, core.Config, *apiError) {
+	var none core.Config
 	if len(req.Mix) == 0 {
-		return nil, badRequest("mix must name at least one benchmark")
+		return "", none, badRequest("mix must name at least one benchmark")
 	}
 	if len(req.Mix) > maxMixSize {
-		return nil, badRequest("mix has %d entries; the limit is %d", len(req.Mix), maxMixSize)
+		return "", none, badRequest("mix has %d entries; the limit is %d", len(req.Mix), maxMixSize)
 	}
 	for _, name := range req.Mix {
 		if program.ByName(name) == nil {
-			return nil, badRequest("unknown benchmark %q", name)
+			return "", none, badRequest("unknown benchmark %q", name)
 		}
 	}
 	topo, aerr := parseTopology(req.Topology)
 	if aerr != nil {
-		return nil, aerr
+		return "", none, aerr
 	}
 	policy := core.Policy(req.Policy)
 	hasOoO := topo == core.TopologyMirage || topo == core.TopologyTraditional
@@ -159,31 +179,31 @@ func (s *Server) validateRun(req *RunRequest) (*runJob, *apiError) {
 			policy = core.PolicySCMPKI
 		}
 		if _, err := core.NewArbiter(policy); err != nil {
-			return nil, badRequest("unknown policy %q", req.Policy)
+			return "", none, badRequest("unknown policy %q", req.Policy)
 		}
 	} else if policy != "" {
-		return nil, badRequest("policy %q does not apply to topology %q (no arbitrated OoO)", req.Policy, topo)
+		return "", none, badRequest("policy %q does not apply to topology %q (no arbitrated OoO)", req.Policy, topo)
 	}
 	switch {
 	case req.NumOoO < 0 || req.NumOoO > maxNumOoO:
-		return nil, badRequest("num_ooo %d out of range [0, %d]", req.NumOoO, maxNumOoO)
+		return "", none, badRequest("num_ooo %d out of range [0, %d]", req.NumOoO, maxNumOoO)
 	case req.NumOoO > 1 && topo != core.TopologyTraditional:
-		return nil, badRequest("num_ooo applies to the traditional topology only")
+		return "", none, badRequest("num_ooo applies to the traditional topology only")
 	case req.TargetInsts < 0 || req.TargetInsts > maxTargetInsts:
-		return nil, badRequest("target_insts %d out of range [0, %d]", req.TargetInsts, maxTargetInsts)
+		return "", none, badRequest("target_insts %d out of range [0, %d]", req.TargetInsts, maxTargetInsts)
 	case req.IntervalCycles < 0 || req.IntervalCycles > maxInterval:
-		return nil, badRequest("interval_cycles %d out of range [0, %d]", req.IntervalCycles, maxInterval)
+		return "", none, badRequest("interval_cycles %d out of range [0, %d]", req.IntervalCycles, maxInterval)
 	case req.SCCapacityBytes < 0 || req.SCCapacityBytes > maxSCCapacity:
-		return nil, badRequest("sc_capacity_bytes %d out of range [0, %d]", req.SCCapacityBytes, maxSCCapacity)
+		return "", none, badRequest("sc_capacity_bytes %d out of range [0, %d]", req.SCCapacityBytes, maxSCCapacity)
 	case req.TimeoutMS < 0:
-		return nil, badRequest("timeout_ms must be >= 0")
+		return "", none, badRequest("timeout_ms must be >= 0")
 	}
 	seed := req.Seed
 	if seed == "" {
 		seed = "miraged"
 	}
 	if !validSeed(seed) {
-		return nil, badRequest("seed must be at most %d printable ASCII characters without '|'", maxSeedLen)
+		return "", none, badRequest("seed must be at most %d printable ASCII characters without '|'", maxSeedLen)
 	}
 	numOoO := req.NumOoO
 	if topo == core.TopologyTraditional && numOoO == 0 {
@@ -197,8 +217,6 @@ func (s *Server) validateRun(req *RunRequest) (*runJob, *apiError) {
 		IntervalCycles:  req.IntervalCycles,
 		SCCapacityBytes: req.SCCapacityBytes,
 		Seed:            seed,
-		Parallel:        s.cfg.Parallel,
-		Telemetry:       s.tel,
 	}
 	if hasOoO {
 		cfg.Policy = policy
@@ -206,10 +224,7 @@ func (s *Server) validateRun(req *RunRequest) (*runJob, *apiError) {
 	key := fmt.Sprintf("run|topo=%s|policy=%s|ooo=%d|insts=%d|interval=%d|sc=%d|seed=%s|mix=%s",
 		topo, cfg.Policy, numOoO, req.TargetInsts, req.IntervalCycles, req.SCCapacityBytes,
 		seed, strings.Join(req.Mix, ","))
-	return &runJob{
-		job: job{key: key, timeout: s.timeout(req.TimeoutMS)},
-		cfg: cfg,
-	}, nil
+	return key, cfg, nil
 }
 
 // validateSweep normalizes a SweepRequest into a job plus its resolved scale.
@@ -221,9 +236,7 @@ func (s *Server) validateSweep(req *SweepRequest) (*job, experiments.Scale, *api
 	if aerr != nil {
 		return nil, experiments.Scale{}, aerr
 	}
-	key := fmt.Sprintf("sweep|scale=%s|insts=%d|interval=%d|mixes=%d|n=%v",
-		sc.Name, sc.TargetInsts, sc.IntervalCycles, sc.MixesPerPoint, sc.NValues)
-	return &job{key: key, timeout: s.timeout(req.TimeoutMS)}, sc, nil
+	return &job{key: sweepKey(sc), timeout: s.timeout(req.TimeoutMS)}, sc, nil
 }
 
 // timeout lowers a request's timeout_ms to the effective deadline, applying

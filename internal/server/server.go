@@ -91,6 +91,16 @@ type Config struct {
 	// distinct job key ever served.
 	CacheMaxEntries int
 	CacheMaxBytes   int64
+	// PeerFetch, when set, lets this worker ask a fleet peer for already-
+	// computed response bytes before simulating. It is consulted by the
+	// flight leader — after the local memory and disk tiers miss, before
+	// admission — only when the request arrived with an X-Mirage-Owner
+	// header naming the key's owning worker (the coordinator sets it when
+	// hedging or failing over to a non-owner). A (bytes, true) return is
+	// cached locally exactly like a computed result; (nil, false) falls
+	// through to a normal simulation. Must be safe for concurrent use and
+	// respect ctx.
+	PeerFetch func(ctx context.Context, owner, key string) ([]byte, bool)
 }
 
 // Server is the miraged HTTP API. Create with New; it implements
@@ -135,8 +145,10 @@ type Server struct {
 	inflightMu sync.Mutex
 	inflight   map[int64]*reqTrace
 
-	flightsMu sync.Mutex
-	flights   map[string]*flightInfo
+	flightsMu              sync.Mutex
+	flights                map[string]*flightInfo
+	flightHead, flightTail *flightInfo // LRU order, most recent first
+	maxFlights             int
 }
 
 // New builds a Server from cfg, applying defaults for zero fields.
@@ -157,11 +169,7 @@ func New(cfg Config) *Server {
 		cfg.MaxTimeout = 10 * time.Minute
 	}
 	if cfg.Scales == nil {
-		cfg.Scales = map[string]experiments.Scale{
-			"tiny":  experiments.TinyScale,
-			"quick": experiments.QuickScale,
-			"full":  experiments.FullScale,
-		}
+		cfg.Scales = DefaultScales()
 	}
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.New()
@@ -201,6 +209,14 @@ func New(cfg Config) *Server {
 		s.cache.MaxBytes = cfg.CacheMaxBytes
 	}
 	s.cache.Size = func(b []byte) int64 { return int64(len(b)) }
+	// The flight-record map moves in step with the response cache's entry
+	// bound; when the cache is explicitly unbounded (negative), the
+	// observability shadow map still caps itself — it exists for log
+	// attribution, never a reason to hold every key ever served.
+	s.maxFlights = cfg.CacheMaxEntries
+	if s.maxFlights <= 0 {
+		s.maxFlights = 4096
+	}
 	if cfg.Store != nil {
 		s.cache.Backing = &storeAdapter{st: cfg.Store, reg: s.reg, logger: cfg.Logger}
 	}
@@ -210,6 +226,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.instrument("figure", s.track(s.handleFigure)))
 	s.mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /internal/peer/cache", s.instrument("peercache", s.handlePeerCache))
 	s.mux.HandleFunc("GET /debug/statusz", s.instrument("statusz", s.handleStatusz))
 	s.mux.HandleFunc("GET /debug/requests/trace", s.instrument("reqtrace", s.handleRequestTrace))
 	if cfg.EnablePprof {
@@ -235,6 +252,7 @@ func (s *Server) ResetCache() {
 	s.cache.Reset()
 	s.flightsMu.Lock()
 	s.flights = nil
+	s.flightHead, s.flightTail = nil, nil
 	s.flightsMu.Unlock()
 }
 
@@ -411,6 +429,25 @@ func (s *Server) execute(ctx context.Context, key string, fn func(context.Contex
 		lrt := traceFrom(fctx)
 		fi := s.flightFor(key)
 		fi.setLeader(lrt.requestID())
+		// Fleet cache peering: when the coordinator routed this request to a
+		// non-owner worker (hedge or failover) it names the key's owner in
+		// X-Mirage-Owner; ask that owner for the bytes before paying for a
+		// slot and a simulation, so each key is computed once fleet-wide.
+		// A peer miss (or any fetch failure) falls through to a normal run.
+		if owner := lrt.ownerHint(); owner != "" && s.cfg.PeerFetch != nil {
+			var b []byte
+			var ok bool
+			_ = withSpan(fctx, "peer_fetch", func() error {
+				b, ok = s.cfg.PeerFetch(fctx, owner, key)
+				return nil
+			})
+			if ok {
+				s.reg.Counter("server.peer.hits").Inc()
+				lrt.setPeer(owner)
+				return b, nil
+			}
+			s.reg.Counter("server.peer.fetch_misses").Inc()
+		}
 		s.reg.Histogram("server.admit.queue_depth").Observe(int64(len(s.queued)))
 		admitStart := time.Now()
 		release, aerr := s.admit(fctx)
@@ -464,12 +501,9 @@ func (s *Server) execute(ctx context.Context, key string, fn func(context.Contex
 // stamps in the server-wide parallelism and telemetry (neither is part of
 // any job key: results are bit-identical at any parallelism).
 func (s *Server) scale(name string) (experiments.Scale, *apiError) {
-	if name == "" {
-		name = "quick"
-	}
-	sc, ok := s.cfg.Scales[name]
-	if !ok {
-		return experiments.Scale{}, badRequest("unknown scale %q", name)
+	sc, aerr := resolveScale(name, s.cfg.Scales)
+	if aerr != nil {
+		return experiments.Scale{}, aerr
 	}
 	sc.Parallel = s.cfg.Parallel
 	sc.Telemetry = s.tel
@@ -566,8 +600,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		s.invalid(w, aerr)
 		return
 	}
-	key := fmt.Sprintf("figure|%s|scale=%s|insts=%d|interval=%d|mixes=%d|n=%v",
-		exp.Slug, sc.Name, sc.TargetInsts, sc.IntervalCycles, sc.MixesPerPoint, sc.NValues)
+	key := figureKey(exp.Slug, sc)
 	timeout := s.timeout(timeoutMS)
 	traceFrom(r.Context()).setDeadline(timeout)
 	ctx, cancel := s.requestContext(r, timeout)
@@ -609,9 +642,46 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds  float64 `json:"uptime_seconds"`
 	}{status, active, draining, time.Since(s.started).Seconds()}
 	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		// A draining server rejects every job with 503, so health must say
+		// so in the status code: load balancers and the fleet prober key on
+		// it, and a 200-with-"draining" body kept them routing doomed work
+		// here. The JSON body is unchanged for human eyes and old probes.
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	_ = enc.Encode(resp)
+}
+
+// handlePeerCache is the fleet cache-peering endpoint: a peer worker asks
+// whether this worker already holds the response bytes for a canonical job
+// key, checking the in-memory cache (settled successes only) and then the
+// persistent store. It never simulates, never admits, and never blocks on a
+// flight in progress — a peer asking for bytes that are still being
+// computed gets a 404 and simulates (or waits) on its own side, which keeps
+// the peering path strictly cheap.
+func (s *Server) handlePeerCache(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		s.invalid(w, badRequest("missing key parameter"))
+		return
+	}
+	body, ok := s.cache.Peek(key)
+	src := "memory"
+	if !ok && s.cfg.Store != nil {
+		body, ok = s.cfg.Store.Get(key)
+		src = "disk"
+	}
+	if !ok {
+		s.reg.Counter("server.peer.misses").Inc()
+		s.writeError(w, http.StatusNotFound, "key not cached", nil, 0, "")
+		return
+	}
+	s.reg.Counter("server.peer.served").Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", src)
+	_, _ = w.Write(body)
 }
 
 // handleMetrics exports the telemetry snapshot: the native JSON dump by
@@ -689,9 +759,15 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string, detai
 	_ = enc.Encode(errorResponse{Error: msg, Detail: detail})
 }
 
-// finish maps an execute result onto the wire. The request context decides
-// between deadline (504) and client-gone (499); admission rejections map to
-// 429/503 with Retry-After; anything else a job produced is a 500.
+// finish maps an execute result onto the wire. Admission rejections map to
+// 429/503 with Retry-After. Cancellation shapes are attributed by the
+// flight error FIRST and the request context only as a fallback: a flight
+// that settled with a real simulation error in the same instant the
+// request deadline expired must surface as a 500 naming that error, not be
+// masked into a "deadline exceeded" 504 just because ctx.Err() is already
+// non-nil by the time we look. Only when the error itself is (or wraps) a
+// context sentinel does ctx decide between deadline (504) and client-gone
+// (499).
 func (s *Server) finish(w http.ResponseWriter, ctx context.Context, body []byte, out runner.Outcome, err error) {
 	if err == nil {
 		// OutcomeDisk is Shared() but is a store hit, not a singleflight
@@ -717,11 +793,19 @@ func (s *Server) finish(w http.ResponseWriter, ctx context.Context, body []byte,
 	case errors.Is(err, errSaturated):
 		s.writeError(w, http.StatusTooManyRequests, errSaturated.Error(), nil, 1,
 			"server.requests.saturated")
-	case ctx.Err() == context.DeadlineExceeded:
+	case errors.Is(err, context.DeadlineExceeded):
 		s.writeError(w, http.StatusGatewayTimeout,
 			"deadline exceeded: "+err.Error(), canceledDetail(err), 0,
 			"server.requests.deadline")
-	case ctx.Err() == context.Canceled:
+	case errors.Is(err, context.Canceled):
+		if ctx.Err() == context.DeadlineExceeded {
+			// The flight was cancelled on our request's behalf when its
+			// deadline fired; report the deadline, not a bare cancellation.
+			s.writeError(w, http.StatusGatewayTimeout,
+				"deadline exceeded: "+err.Error(), canceledDetail(err), 0,
+				"server.requests.deadline")
+			return
+		}
 		// The client is gone; the status is for logs and telemetry only.
 		s.reg.Counter("server.requests.cancelled").Inc()
 		w.WriteHeader(StatusClientClosedRequest)
@@ -785,6 +869,9 @@ func encodeRunResponse(rj *runJob, mr *core.MixResult) ([]byte, error) {
 		EnergyPJ:      mr.EnergyPJ,
 		AreaMM2:       mr.AreaMM2,
 		OoOActiveFrac: mr.OoOActiveFrac,
+		// Non-nil so an empty mix encodes as "apps": [] — clients parse a
+		// JSON array here and a shape flip to null is an API break.
+		Apps: []runApp{},
 	}
 	for _, a := range mr.Cluster.Apps {
 		app := runApp{Name: a.Name, IPC: a.IPC, Migrations: int64(a.Migrations)}

@@ -496,9 +496,11 @@ func TestGracefulShutdown(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("503 has no Retry-After header")
 	}
-	// Health stays reachable while draining and reports it.
-	if rec := get(t, srv, "/v1/healthz"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "draining") {
-		t.Fatalf("healthz while draining: %d %s", rec.Code, rec.Body.Bytes())
+	// Health stays reachable while draining and reports it in the status
+	// code — a 200 here kept load balancers and the fleet prober routing
+	// jobs to a worker that 503s every one of them.
+	if rec := get(t, srv, "/v1/healthz"); rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("healthz while draining: %d %s, want 503 + draining body", rec.Code, rec.Body.Bytes())
 	}
 	select {
 	case err := <-shut:
