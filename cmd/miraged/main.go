@@ -8,6 +8,7 @@
 //	        [-timeout 60s] [-max-timeout 10m] [-drain-timeout 30s]
 //	        [-store-dir DIR] [-store-max-bytes N]
 //	        [-cache-entries 4096] [-cache-bytes N]
+//	        [-peers http://w1,http://w2,...] [-peer-auth SECRET]
 //	        [-metrics-out m.json] [-pprof cpu.prof] [-pprof-http]
 //	        [-log-format json|text] [-log-level info]
 //
@@ -25,6 +26,10 @@
 // worker leaves or returns. Requests routed to a non-owner carry an
 // X-Mirage-Owner header; the worker asks that owner's cache before
 // simulating (cache peering), so each key is computed once fleet-wide.
+// Workers only honor owner hints naming a URL on their -peers allowlist
+// (client-supplied X-Mirage-* headers are stripped at the coordinator, and
+// /internal/* is never proxied); with -peer-auth set, peer fetches carry
+// the shared secret and /internal/peer/cache rejects requests without it.
 // Responses carry X-Mirage-Shard (the worker that served) and
 // X-Mirage-Hedged (the winning attempt number, when not the first).
 //
@@ -99,6 +104,8 @@ func main() {
 	hedgeMin := flag.Duration("hedge-min", 100*time.Millisecond, "coordinator lower clamp on the hedge latency budget")
 	hedgeMax := flag.Duration("hedge-max", 10*time.Second, "coordinator upper clamp on the hedge latency budget")
 	peering := flag.Bool("peering", true, "worker mode: answer /internal/peer/cache and consult the key owner's cache on hedged requests")
+	peers := flag.String("peers", "", "worker mode: comma-separated base URLs of every fleet worker (the cache-peering allowlist; empty = never fetch from a peer)")
+	peerAuth := flag.String("peer-auth", "", "shared fleet peering secret: required on /internal/peer/cache and sent on peer fetches (empty = unauthenticated)")
 	flag.Parse()
 
 	if *maxInFlight < 1 || *queue < 0 || *parallel < 0 {
@@ -145,10 +152,15 @@ func main() {
 		CacheMaxEntries: *cacheEntries,
 		CacheMaxBytes:   *cacheBytes,
 	}
+	scfg.PeerAuth = *peerAuth
 	if *peering {
 		// Consulted only when a coordinator routed the request here with an
-		// X-Mirage-Owner hint; a standalone worker never peers.
-		scfg.PeerFetch = fleet.NewPeerFetch(nil)
+		// X-Mirage-Owner hint. The hint is client-forgeable data, so fetches
+		// are allowlisted to the -peers fleet membership: a standalone
+		// worker (no -peers) never peers, whatever headers arrive.
+		if peerURLs := splitURLs(*peers); len(peerURLs) > 0 {
+			scfg.PeerFetch = fleet.NewPeerFetch(nil, peerURLs, *peerAuth)
+		}
 	}
 	srv := server.New(scfg)
 
@@ -207,12 +219,7 @@ func main() {
 // over the worker list, start the health prober, serve until signalled,
 // then stop probing and drain the HTTP layer.
 func runCoordinator(logger *slog.Logger, addr, workers string, probeInterval, hedgeMin, hedgeMax, drainTimeout time.Duration, metricsOut string) {
-	var urls []string
-	for _, w := range strings.Split(workers, ",") {
-		if w = strings.TrimSpace(w); w != "" {
-			urls = append(urls, strings.TrimRight(w, "/"))
-		}
-	}
+	urls := splitURLs(workers)
 	if len(urls) == 0 {
 		fatalf("-coordinator requires -workers with at least one URL")
 	}
@@ -261,6 +268,18 @@ func runCoordinator(logger *slog.Logger, addr, workers string, probeInterval, he
 		}
 	}
 	logger.Info("exited cleanly")
+}
+
+// splitURLs parses a comma-separated base-URL list (-workers, -peers),
+// trimming whitespace and trailing slashes.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	return urls
 }
 
 // newLogger builds the process logger on stderr. JSON is the default so the

@@ -59,6 +59,10 @@ func (m *mortal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.ServeHTTP(w, r)
 }
 
+// fleetPeerSecret is the shared peering secret every e2e worker runs with,
+// so the whole suite exercises the authenticated peering path.
+const fleetPeerSecret = "chaos-fleet-secret"
+
 // fleetWorker is one worker slot: a stable URL fronting a (replaceable)
 // server.Server over its own backend and optional disk store.
 type fleetWorker struct {
@@ -67,17 +71,37 @@ type fleetWorker struct {
 	st    *store.Store
 	mort  *mortal
 	ts    *httptest.Server
+	peers []string // fleet membership: the cache-peering allowlist
 }
 
-// newFleetWorker boots a worker with cache peering wired; dir != "" adds a
-// persistent store.
-func newFleetWorker(t *testing.T, dir string, opt func(*server.Config)) *fleetWorker {
+// newFleetWorkers allocates n workers' stable URL slots, then boots each
+// with the full fleet allowlist and shared secret wired — the in-process
+// equivalent of every worker getting -peers/-peer-auth. dirs[i] != ""
+// adds a persistent store to worker i.
+func newFleetWorkers(t *testing.T, n int, dirs []string, opt func(int, *server.Config)) []*fleetWorker {
 	t.Helper()
-	w := &fleetWorker{mort: &mortal{}}
-	w.ts = httptest.NewServer(w.mort)
-	t.Cleanup(w.ts.Close)
-	w.boot(t, dir, opt)
-	return w
+	ws := make([]*fleetWorker, n)
+	peers := make([]string, n)
+	for i := range ws {
+		ws[i] = &fleetWorker{mort: &mortal{}}
+		ws[i].ts = httptest.NewServer(ws[i].mort)
+		t.Cleanup(ws[i].ts.Close)
+		peers[i] = ws[i].ts.URL
+	}
+	for i, w := range ws {
+		w.peers = peers
+		dir := ""
+		if dirs != nil {
+			dir = dirs[i]
+		}
+		var o func(*server.Config)
+		if opt != nil {
+			i := i
+			o = func(c *server.Config) { opt(i, c) }
+		}
+		w.boot(t, dir, o)
+	}
+	return ws
 }
 
 // boot (re)builds the worker's server stack — process start or restart.
@@ -87,7 +111,8 @@ func (w *fleetWorker) boot(t *testing.T, dir string, opt func(*server.Config)) {
 	cfg := server.Config{
 		Backend:        w.inner,
 		DefaultTimeout: 30 * time.Second,
-		PeerFetch:      fleet.NewPeerFetch(nil),
+		PeerFetch:      fleet.NewPeerFetch(nil, w.peers, fleetPeerSecret),
+		PeerAuth:       fleetPeerSecret,
 	}
 	if dir != "" {
 		st, err := store.Open(dir, store.Options{})
@@ -162,23 +187,19 @@ func through(t *testing.T, ts *httptest.Server, path, body string) (*http.Respon
 // transients and partials must — through hedging, failover and retries —
 // converge every key onto bytes identical to a clean single-node server.
 func TestChaosFleetByteIdenticalUnderFaults(t *testing.T) {
-	workers := make([]*fleetWorker, 3)
-	for i := range workers {
-		i := i
-		workers[i] = newFleetWorker(t, "", func(c *server.Config) {
-			inj, err := chaos.NewInjector(chaos.Config{
-				Seed:            fmt.Sprintf("fleet-w%d", i),
-				PTransient:      0.3,
-				PStall:          0.3,
-				PPartial:        0.2,
-				MaxFaultsPerKey: 2,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			c.Backend = chaos.Wrap(c.Backend, inj)
+	workers := newFleetWorkers(t, 3, nil, func(i int, c *server.Config) {
+		inj, err := chaos.NewInjector(chaos.Config{
+			Seed:            fmt.Sprintf("fleet-w%d", i),
+			PTransient:      0.3,
+			PStall:          0.3,
+			PPartial:        0.2,
+			MaxFaultsPerKey: 2,
 		})
-	}
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Backend = chaos.Wrap(c.Backend, inj)
+	})
 	coord := newFleetCoordinator(t, workers, nil)
 	front := httptest.NewServer(coord)
 	defer front.Close()
@@ -244,10 +265,7 @@ func TestChaosFleetByteIdenticalUnderFaults(t *testing.T) {
 // request — transport errors fail over to the next replica before the
 // prober even notices — and the prober then re-shards it out of the ring.
 func TestChaosFleetSurvivesWorkerKill(t *testing.T) {
-	workers := make([]*fleetWorker, 3)
-	for i := range workers {
-		workers[i] = newFleetWorker(t, "", nil)
-	}
+	workers := newFleetWorkers(t, 3, nil, nil)
 	coord := newFleetCoordinator(t, workers, nil)
 	coord.ProbeOnce(context.Background())
 	front := httptest.NewServer(coord)
@@ -305,11 +323,10 @@ func TestChaosFleetSurvivesWorkerKill(t *testing.T) {
 // Through all of it, the fleet simulates the key exactly once.
 func TestChaosFleetPeeringAndWarmRestart(t *testing.T) {
 	dirs := make([]string, 3)
-	workers := make([]*fleetWorker, 3)
-	for i := range workers {
+	for i := range dirs {
 		dirs[i] = t.TempDir()
-		workers[i] = newFleetWorker(t, dirs[i], nil)
 	}
+	workers := newFleetWorkers(t, 3, dirs, nil)
 	coord := newFleetCoordinator(t, workers, nil)
 	coord.ProbeOnce(context.Background())
 	front := httptest.NewServer(coord)

@@ -202,8 +202,16 @@ func (c *Coordinator) handleFigure(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleFallback proxies everything else — debug endpoints, unknown paths —
-// to one deterministic healthy worker, no hedging.
+// to one deterministic healthy worker, no hedging. Fleet-internal paths are
+// refused outright: /internal/* is the workers' peering surface, and
+// proxying it would hand any client a read (and probe) oracle over every
+// worker's cache and store.
 func (c *Coordinator) handleFallback(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/internal/") {
+		c.reg.Counter("fleet.requests.internal_refused").Inc()
+		c.writeError(w, http.StatusNotFound, "fleet-internal endpoints are not proxied")
+		return
+	}
 	var body []byte
 	if r.Body != nil && r.Method != http.MethodGet && r.Method != http.MethodHead {
 		b, err := readBody(r)
@@ -336,6 +344,15 @@ func (c *Coordinator) proxy(w http.ResponseWriter, r *http.Request, route, key s
 	res, hedged := c.race(r, replicas, key, body, hedge)
 	dur := time.Since(start)
 	if res.resp == nil {
+		// The client going away (or its deadline firing) is not a worker
+		// outage: attribute it as a cancellation — nginx's 499 convention,
+		// log/metrics only, nobody is left to read a body — instead of
+		// polluting the unreachable counter the fleet alerts on.
+		if r.Context().Err() != nil {
+			c.reg.Counter("fleet.requests.client_cancelled").Inc()
+			c.logProxy(r, route, key, res.worker, res.attempt, hedged, server.StatusClientClosedRequest, dur)
+			return
+		}
 		// Every replica failed at the transport layer.
 		c.reg.Counter("fleet.requests.unreachable").Inc()
 		c.writeError(w, http.StatusBadGateway, "all workers unreachable: "+res.err.Error())
@@ -399,6 +416,16 @@ func (c *Coordinator) race(r *http.Request, replicas []string, key string, body 
 				next++
 				pending++
 				if hedge {
+					// Pre-Go-1.23 timer semantics: the timer may have fired
+					// while this failover was being handled, leaving a stale
+					// tick in timer.C that Reset does not clear — drain it or
+					// the next select launches one premature hedge.
+					if !timer.Stop() {
+						select {
+						case <-timer.C:
+						default:
+						}
+					}
 					timer.Reset(budget)
 				}
 			} else if pending == 0 {
@@ -423,6 +450,10 @@ func (c *Coordinator) race(r *http.Request, replicas []string, key string, body 
 // attempts (i > 0) carry X-Mirage-Owner naming the key's owner — the
 // worker's peering hook asks the owner for the bytes before simulating —
 // and X-Mirage-Hedge with the attempt number for the worker's access log.
+// Client-supplied X-Mirage-* headers are stripped before forwarding: they
+// are fleet-internal routing metadata, and a forged X-Mirage-Owner would
+// point the worker's peer fetch at an attacker-chosen URL whose reply gets
+// cached and persisted as the canonical result for the key.
 func (c *Coordinator) attempt(ctx context.Context, r *http.Request, worker, owner string, i int, body []byte) (*workerResponse, error) {
 	var rd io.Reader
 	if body != nil {
@@ -433,6 +464,7 @@ func (c *Coordinator) attempt(ctx context.Context, r *http.Request, worker, owne
 		return nil, err
 	}
 	copyHeaders(req.Header, r.Header)
+	stripMirageHeaders(req.Header)
 	if i > 0 {
 		req.Header.Set("X-Mirage-Owner", owner)
 		req.Header.Set("X-Mirage-Hedge", strconv.Itoa(i))
@@ -467,6 +499,16 @@ func copyHeaders(dst, src http.Header) {
 		}
 		for _, v := range vs {
 			dst.Add(k, v)
+		}
+	}
+}
+
+// stripMirageHeaders drops every X-Mirage-* header from an outbound worker
+// request; only the coordinator itself may stamp fleet routing metadata.
+func stripMirageHeaders(h http.Header) {
+	for k := range h {
+		if strings.HasPrefix(http.CanonicalHeaderKey(k), "X-Mirage-") {
+			h.Del(k)
 		}
 	}
 }

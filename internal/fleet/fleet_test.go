@@ -344,6 +344,88 @@ func TestCoordinatorHealthz(t *testing.T) {
 	}
 }
 
+// TestCoordinatorStripsClientMirageHeaders: X-Mirage-* is fleet-internal
+// routing metadata. A client smuggling X-Mirage-Owner through the proxy
+// would point the worker's peer fetch at an attacker URL, so the
+// coordinator must drop the whole header family while still forwarding
+// ordinary headers.
+func TestCoordinatorStripsClientMirageHeaders(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w1")}
+	c := newTestFleet(t, ws, nil)
+	req := httptest.NewRequest("POST", "/v1/run", strings.NewReader(`{"mix": ["hmmer"]}`))
+	req.Header.Set("X-Mirage-Owner", "http://evil.example")
+	req.Header.Set("X-Mirage-Hedge", "7")
+	req.Header.Set("X-Request-ID", "keep-me")
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	got := ws[0].lastReq(t)
+	for _, h := range []string{"X-Mirage-Owner", "X-Mirage-Hedge"} {
+		if v := got.Header.Get(h); v != "" {
+			t.Fatalf("client-supplied %s forwarded to the worker (= %q)", h, v)
+		}
+	}
+	if got.Header.Get("X-Request-ID") != "keep-me" {
+		t.Fatal("ordinary client header was not forwarded")
+	}
+}
+
+// TestCoordinatorRefusesInternalPaths: /internal/* is the workers' peering
+// surface; the coordinator must not hand clients a proxy into it.
+func TestCoordinatorRefusesInternalPaths(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w1"), newFakeWorker(t, "w2")}
+	c := newTestFleet(t, ws, nil)
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/internal/peer/cache?key=run%7Cx", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", rec.Code)
+	}
+	if n := ws[0].served.Load() + ws[1].served.Load(); n != 0 {
+		t.Fatalf("internal path reached %d worker(s)", n)
+	}
+	if c.reg.Counter("fleet.requests.internal_refused").Value() != 1 {
+		t.Fatal("refusal not counted")
+	}
+}
+
+// TestCoordinatorClientCancelNotUnreachable: a client disconnecting while
+// every worker is still thinking is a cancellation, not a fleet outage —
+// it must land in the client_cancelled counter and a 499 log line, never
+// in fleet.requests.unreachable.
+func TestCoordinatorClientCancelNotUnreachable(t *testing.T) {
+	ws := []*fakeWorker{newFakeWorker(t, "w1")}
+	release := make(chan struct{})
+	defer close(release) // unblock the handler before cleanup closes the server
+	stall := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		// Drain the body: with unread request data the net/http server skips
+		// the background read that detects the client closing, and the
+		// handler would never observe the coordinator's cancellation.
+		_, _ = io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	})
+	ws[0].handle.Store(&stall)
+	c := newTestFleet(t, ws, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/run", strings.NewReader(`{"mix": ["hmmer"]}`)).WithContext(ctx)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, req)
+	if got := c.reg.Counter("fleet.requests.client_cancelled").Value(); got != 1 {
+		t.Fatalf("client_cancelled = %d, want 1", got)
+	}
+	if got := c.reg.Counter("fleet.requests.unreachable").Value(); got != 0 {
+		t.Fatalf("unreachable = %d, want 0 — client cancel misattributed as outage", got)
+	}
+}
+
 func TestCoordinatorMetrics(t *testing.T) {
 	ws := []*fakeWorker{newFakeWorker(t, "w1")}
 	c := newTestFleet(t, ws, nil)

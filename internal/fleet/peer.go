@@ -4,6 +4,12 @@
 // only — it never simulates on a peer's behalf — so peering is strictly
 // cheaper than recomputing and each key is simulated at most once
 // fleet-wide in the steady state.
+//
+// The owner URL arrives in a request header, so it is attacker-reachable
+// data: a worker only ever fetches from owners on its configured fleet
+// allowlist (fail closed — an empty allowlist fetches from nobody), which
+// keeps a forged X-Mirage-Owner from turning the peer fetch into an SSRF
+// that poisons the cache and result store with attacker-chosen bytes.
 
 package fleet
 
@@ -12,7 +18,10 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
+
+	"repro/internal/server"
 )
 
 // peerFetchTimeout bounds one peer-cache lookup: past it the worker is
@@ -20,24 +29,41 @@ import (
 const peerFetchTimeout = 2 * time.Second
 
 // NewPeerFetch returns a server.Config.PeerFetch implementation over
-// client (nil uses a dedicated default). The returned func GETs the
-// owner's /internal/peer/cache endpoint and reports (bytes, true) only on
-// a 200; any error, timeout or miss means (nil, false) and the caller
-// simulates locally.
-func NewPeerFetch(client *http.Client) func(ctx context.Context, owner, key string) ([]byte, bool) {
+// client (nil uses a dedicated default). peers is the fleet membership
+// allowlist — the worker base URLs the coordinator shards over, this
+// worker included; an owner hint naming any other URL is refused without
+// a request. auth, when non-empty, is sent as the server.PeerAuthHeader
+// shared secret (the owning worker must be configured with the same
+// value). The returned func GETs the owner's /internal/peer/cache
+// endpoint and reports (bytes, true) only on a 200; any error, timeout,
+// miss or allowlist refusal means (nil, false) and the caller simulates
+// locally.
+func NewPeerFetch(client *http.Client, peers []string, auth string) func(ctx context.Context, owner, key string) ([]byte, bool) {
 	if client == nil {
 		client = &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 4,
 			IdleConnTimeout:     90 * time.Second,
 		}}
 	}
+	allowed := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+			allowed[p] = true
+		}
+	}
 	return func(ctx context.Context, owner, key string) ([]byte, bool) {
+		if !allowed[strings.TrimRight(owner, "/")] {
+			return nil, false
+		}
 		pctx, cancel := context.WithTimeout(ctx, peerFetchTimeout)
 		defer cancel()
 		u := owner + "/internal/peer/cache?key=" + url.QueryEscape(key)
 		req, err := http.NewRequestWithContext(pctx, http.MethodGet, u, nil)
 		if err != nil {
 			return nil, false
+		}
+		if auth != "" {
+			req.Header.Set(server.PeerAuthHeader, auth)
 		}
 		resp, err := client.Do(req)
 		if err != nil {

@@ -1,0 +1,73 @@
+// NewPeerFetch unit tests: the owner URL arrives in a client-forgeable
+// header, so fetches must stay inside the configured fleet allowlist and
+// carry the shared peering secret.
+
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestPeerFetchAllowlist(t *testing.T) {
+	var served atomic.Int64
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		fmt.Fprint(w, `{"cached": true}`)
+	}))
+	defer owner.Close()
+
+	// Owner on the allowlist (with a trailing-slash spelling to normalize).
+	fetch := NewPeerFetch(nil, []string{owner.URL + "/"}, "")
+	b, ok := fetch(context.Background(), owner.URL, "run|k")
+	if !ok || string(b) != `{"cached": true}` {
+		t.Fatalf("allowlisted owner: ok=%v body=%s", ok, b)
+	}
+
+	// An owner not on the allowlist is refused without any request — this
+	// is the SSRF/poisoning guard, so no bytes may flow at all.
+	before := served.Load()
+	if _, ok := fetch(context.Background(), "http://evil.example", "run|k"); ok {
+		t.Fatal("non-allowlisted owner returned bytes")
+	}
+	if served.Load() != before {
+		t.Fatal("non-allowlisted owner was contacted")
+	}
+
+	// An empty allowlist fails closed: even the real owner is refused.
+	deny := NewPeerFetch(nil, nil, "")
+	if _, ok := deny(context.Background(), owner.URL, "run|k"); ok {
+		t.Fatal("empty allowlist returned bytes")
+	}
+	if served.Load() != before {
+		t.Fatal("empty allowlist still contacted the owner")
+	}
+}
+
+func TestPeerFetchSendsAuth(t *testing.T) {
+	const secret = "fleet-secret"
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(server.PeerAuthHeader) != secret {
+			w.WriteHeader(http.StatusForbidden)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer owner.Close()
+
+	withAuth := NewPeerFetch(nil, []string{owner.URL}, secret)
+	if b, ok := withAuth(context.Background(), owner.URL, "run|k"); !ok || string(b) != "ok" {
+		t.Fatalf("authed fetch: ok=%v body=%s", ok, b)
+	}
+	// Missing secret: the owner's 403 is a miss, never a cacheable result.
+	without := NewPeerFetch(nil, []string{owner.URL}, "")
+	if _, ok := without(context.Background(), owner.URL, "run|k"); ok {
+		t.Fatal("unauthenticated fetch against an authed owner reported a hit")
+	}
+}

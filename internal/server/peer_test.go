@@ -156,6 +156,50 @@ func TestPeerCacheEndpoint(t *testing.T) {
 	}
 }
 
+// TestPeerCacheAuth: with PeerAuth configured, the peering endpoint serves
+// only requests carrying the shared secret — cached result bytes must not
+// be readable (or key-probe-able) by arbitrary clients that reach the
+// worker's listener.
+func TestPeerCacheAuth(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) {
+		c.Backend = fakeBackend{run: func(ctx context.Context, cfg core.Config) (*core.MixResult, error) {
+			return fakeMixResult(cfg), nil
+		}}
+		c.PeerAuth = "fleet-secret"
+	})
+	rec := postJSON(t, srv, "/v1/run", `{"mix": ["hmmer"], "seed": "authed"}`)
+	if rec.Code != 200 {
+		t.Fatalf("seed run: status %d", rec.Code)
+	}
+	key, err := CanonicalRunKey(&RunRequest{Mix: []string{"hmmer"}, Seed: "authed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "/internal/peer/cache?key=" + url.QueryEscape(key)
+
+	peek := func(secret string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", path, nil)
+		if secret != "" {
+			req.Header.Set(PeerAuthHeader, secret)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+	if got := peek("").Code; got != http.StatusForbidden {
+		t.Fatalf("no secret: status %d, want 403", got)
+	}
+	if got := peek("wrong").Code; got != http.StatusForbidden {
+		t.Fatalf("wrong secret: status %d, want 403", got)
+	}
+	if got := srv.reg.Counter("server.peer.denied").Value(); got != 2 {
+		t.Fatalf("server.peer.denied = %d, want 2", got)
+	}
+	if rec := peek("fleet-secret"); rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Fatalf("right secret: status %d body %q, want the cached bytes", rec.Code, rec.Body.Bytes())
+	}
+}
+
 // TestPeerFetchConsulted: a request carrying an X-Mirage-Owner hint asks the
 // configured PeerFetch before simulating; a peer hit serves (and caches) the
 // peer's bytes with zero backend work, a peer miss falls through to a normal

@@ -6,6 +6,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -101,7 +102,18 @@ type Config struct {
 	// through to a normal simulation. Must be safe for concurrent use and
 	// respect ctx.
 	PeerFetch func(ctx context.Context, owner, key string) ([]byte, bool)
+	// PeerAuth, when non-empty, is the fleet's shared peering secret: GET
+	// /internal/peer/cache requires the PeerAuthHeader to match it
+	// (constant-time) and answers 403 otherwise, so cached and persisted
+	// result bytes are not readable — or enumerable — by arbitrary
+	// clients that can reach a worker's listener. Every worker in a fleet
+	// must share one value (fleet.NewPeerFetch sends it).
+	PeerAuth string
 }
+
+// PeerAuthHeader carries the shared peering secret (Config.PeerAuth) on
+// fleet-internal cache-peering requests.
+const PeerAuthHeader = "X-Mirage-Peer-Auth"
 
 // Server is the miraged HTTP API. Create with New; it implements
 // http.Handler.
@@ -662,6 +674,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // computed gets a 404 and simulates (or waits) on its own side, which keeps
 // the peering path strictly cheap.
 func (s *Server) handlePeerCache(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.PeerAuth != "" &&
+		subtle.ConstantTimeCompare([]byte(r.Header.Get(PeerAuthHeader)), []byte(s.cfg.PeerAuth)) != 1 {
+		s.reg.Counter("server.peer.denied").Inc()
+		s.writeError(w, http.StatusForbidden, "peer auth required", nil, 0, "")
+		return
+	}
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		s.invalid(w, badRequest("missing key parameter"))

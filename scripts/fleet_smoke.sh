@@ -17,6 +17,8 @@ HOST="127.0.0.1"
 COORD="$HOST:18190"
 REF="$HOST:18194"
 WORKER_PORTS=(18191 18192 18193)
+WORKERS="http://$HOST:${WORKER_PORTS[0]},http://$HOST:${WORKER_PORTS[1]},http://$HOST:${WORKER_PORTS[2]}"
+PEER_AUTH="fleet-smoke-secret"
 WORKDIR="$(mktemp -d)"
 
 echo "== build"
@@ -48,6 +50,7 @@ wait_healthz() { # addr log
 start_worker() { # index port -> appends pid
   mkdir -p "$WORKDIR/store-$1"
   ./miraged-fleet -addr "$HOST:$2" -store-dir "$WORKDIR/store-$1" \
+    -peers "$WORKERS" -peer-auth "$PEER_AUTH" \
     -log-format json 2>"fleet-worker-$1.log" &
   PIDS+=($!)
 }
@@ -62,7 +65,6 @@ for i in 0 1 2; do wait_healthz "$HOST:${WORKER_PORTS[$i]}" "fleet-worker-$i.log
 wait_healthz "$REF" "fleet-ref.log"
 
 echo "== start coordinator on $COORD"
-WORKERS="http://$HOST:${WORKER_PORTS[0]},http://$HOST:${WORKER_PORTS[1]},http://$HOST:${WORKER_PORTS[2]}"
 ./miraged-fleet -coordinator -addr "$COORD" -workers "$WORKERS" \
   -probe-interval 200ms -log-format json 2>"fleet.log" &
 COORD_PID=$!
@@ -178,6 +180,12 @@ curl -sf "http://$COORD/v1/healthz" | grep -q '"coordinator"' || {
 curl -sf "http://$COORD/v1/metrics?format=prometheus" | grep -q '^fleet_requests ' || {
   echo "coordinator exposition missing fleet_requests" >&2; exit 1
 }
+# The peering surface is locked down: the coordinator never proxies
+# /internal/*, and workers refuse peer reads without the shared secret.
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$COORD/internal/peer/cache?key=x")"
+[ "$CODE" = "404" ] || { echo "coordinator proxied /internal/ (status $CODE)" >&2; exit 1; }
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$HOST:${WORKER_PORTS[0]}/internal/peer/cache?key=x")"
+[ "$CODE" = "403" ] || { echo "worker served an unauthenticated peer read (status $CODE)" >&2; exit 1; }
 
 rm -f fleet.log fleet-ref.log fleet-worker-*.log
 echo "== fleet smoke passed (${#SEEDS[@]} keys, 1 kill, 1 warm restart)"
